@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks for the numerical kernels behind the
+// solvers (Table V's costs decompose into exactly these pieces):
+// GEMM variants, pNN graph construction, Laplacian assembly, one SPG step
+// worth of work, one multiplicative-update iteration, and k-means.
+
+#include <benchmark/benchmark.h>
+
+#include "rhchme/rhchme.h"
+
+namespace {
+
+using namespace rhchme;  // NOLINT — bench binary.
+
+la::Matrix RandomMatrix(std::size_t r, std::size_t c, uint64_t seed) {
+  Rng rng(seed);
+  return la::Matrix::RandomUniform(r, c, &rng);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix a = RandomMatrix(n, n, 1);
+  la::Matrix b = RandomMatrix(n, n, 2);
+  la::Matrix c;
+  for (auto _ : state) {
+    la::MultiplyInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  // The solver's dominant product shape: (n x n) · (n x c).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  la::Matrix m = RandomMatrix(n, n, 3);
+  la::Matrix g = RandomMatrix(n, c, 4);
+  la::Matrix out;
+  for (auto _ : state) {
+    la::MultiplyInto(m, g, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * c);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Gram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix g = RandomMatrix(n, 30, 5);
+  for (auto _ : state) {
+    la::Matrix gtg = la::Gram(g);
+    benchmark::DoNotOptimize(gtg.data());
+  }
+}
+BENCHMARK(BM_Gram)->Arg(256)->Arg(1024);
+
+void BM_KnnGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix pts = RandomMatrix(n, 64, 6);
+  graph::KnnGraphOptions opts;  // p=5 cosine, the paper's setting.
+  for (auto _ : state) {
+    auto g = graph::BuildKnnGraph(pts, opts);
+    benchmark::DoNotOptimize(g.value().nnz());
+  }
+}
+BENCHMARK(BM_KnnGraph)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Laplacian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix pts = RandomMatrix(n, 32, 7);
+  graph::KnnGraphOptions opts;
+  auto w = graph::BuildKnnGraph(pts, opts).value();
+  for (auto _ : state) {
+    auto l = graph::BuildLaplacian(w, graph::LaplacianKind::kSymmetric);
+    benchmark::DoNotOptimize(l.value().data());
+  }
+}
+BENCHMARK(BM_Laplacian)->Arg(128)->Arg(512);
+
+void BM_SubspaceLearning(benchmark::State& state) {
+  // Full Algorithm 1 on an n-object type (30 SPG iterations).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(n, 80, 8);
+  core::SubspaceOptions opts;
+  opts.spg.max_iterations = 30;
+  for (auto _ : state) {
+    auto r = core::LearnSubspaceAffinity(x, opts);
+    benchmark::DoNotOptimize(r.value().affinity.data());
+  }
+}
+BENCHMARK(BM_SubspaceLearning)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiplicativeIteration(benchmark::State& state) {
+  // One S-solve + one multiplicative G update, the per-iteration core of
+  // every HOCC solver here.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 15;
+  Rng rng(9);
+  la::Matrix r = la::Matrix::RandomUniform(n, n, &rng);
+  la::Matrix g = la::Matrix::RandomUniform(n, c, &rng, 0.1, 1.0);
+  la::Matrix lap = la::Matrix::Identity(n);
+  la::Matrix lap_pos = la::PositivePart(lap);
+  la::Matrix lap_neg = la::NegativePart(lap);
+  for (auto _ : state) {
+    auto s = fact::SolveCentralS(g, r, 1e-9);
+    fact::MultiplicativeGUpdate(r, s.value(), 1.0, &lap_pos, &lap_neg,
+                                1e-12, &g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_MultiplicativeIteration)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix pts = RandomMatrix(n, 32, 10);
+  cluster::KMeansOptions opts;
+  opts.k = 10;
+  opts.restarts = 2;
+  for (auto _ : state) {
+    Rng rng(11);
+    auto r = cluster::KMeans(pts, opts, &rng);
+    benchmark::DoNotOptimize(r.value().inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_EigenSym(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  la::Matrix b = la::Matrix::RandomNormal(n, n, &rng);
+  la::Matrix a = la::Add(b, b.Transposed());
+  for (auto _ : state) {
+    auto r = la::EigenSym(a);
+    benchmark::DoNotOptimize(r.value().eigenvalues.data());
+  }
+}
+BENCHMARK(BM_EigenSym)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

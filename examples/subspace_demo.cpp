@@ -1,0 +1,148 @@
+// Fig. 1 demo: two intersecting circles.
+//
+// Points near the intersection of two manifolds share the same p nearest
+// Euclidean neighbours, so a pNN graph connects them ACROSS manifolds;
+// the subspace affinity (learned on lifted coordinates where each circle
+// is a linear variety) keeps them apart. This is the paper's §III.A
+// motivation, rendered as numbers and an ASCII scatter plot.
+//
+//   $ ./subspace_demo
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "rhchme/rhchme.h"
+
+namespace {
+
+using namespace rhchme;  // NOLINT — example binary.
+
+/// Fraction of affinity mass that stays within the true manifold.
+double WithinMass(const la::Matrix& w, const std::vector<std::size_t>& y) {
+  double in = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      total += w(i, j);
+      if (y[i] == y[j]) in += w(i, j);
+    }
+  }
+  return total > 0.0 ? in / total : 0.0;
+}
+
+/// Fraction of the WITHIN-manifold affinity mass that connects pairs more
+/// than `cutoff` apart in Euclidean distance — the paper's "point z"
+/// claim: a pNN graph cannot connect distant within-manifold neighbours.
+double DistantWithinMass(const la::Matrix& w, const data::ManifoldSample& s,
+                         double cutoff) {
+  double distant = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      if (s.labels[i] != s.labels[j] || w(i, j) <= 0.0) continue;
+      total += w(i, j);
+      const double dx = s.points(i, 0) - s.points(j, 0);
+      const double dy = s.points(i, 1) - s.points(j, 1);
+      if (dx * dx + dy * dy > cutoff * cutoff) distant += w(i, j);
+    }
+  }
+  return total > 0.0 ? distant / total : 0.0;
+}
+
+/// Mean Euclidean length of within-manifold affinity edges (mass-weighted).
+double MeanEdgeLength(const la::Matrix& w, const data::ManifoldSample& s) {
+  double len = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      if (s.labels[i] != s.labels[j] || w(i, j) <= 0.0) continue;
+      const double dx = s.points(i, 0) - s.points(j, 0);
+      const double dy = s.points(i, 1) - s.points(j, 1);
+      len += w(i, j) * std::sqrt(dx * dx + dy * dy);
+      total += w(i, j);
+    }
+  }
+  return total > 0.0 ? len / total : 0.0;
+}
+
+void AsciiScatter(const data::ManifoldSample& s) {
+  const int W = 68, H = 22;
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  double xmin = 1e9, xmax = -1e9, ymin = 1e9, ymax = -1e9;
+  for (std::size_t i = 0; i < s.points.rows(); ++i) {
+    xmin = std::min(xmin, s.points(i, 0));
+    xmax = std::max(xmax, s.points(i, 0));
+    ymin = std::min(ymin, s.points(i, 1));
+    ymax = std::max(ymax, s.points(i, 1));
+  }
+  for (std::size_t i = 0; i < s.points.rows(); ++i) {
+    int cx = static_cast<int>((s.points(i, 0) - xmin) / (xmax - xmin) *
+                              (W - 1));
+    int cy = static_cast<int>((s.points(i, 1) - ymin) / (ymax - ymin) *
+                              (H - 1));
+    canvas[H - 1 - cy][cx] = s.labels[i] == 0 ? 'o' : '+';
+  }
+  std::printf("two intersecting circles ('o' = manifold 0, '+' = 1):\n");
+  for (const auto& line : canvas) std::printf("  %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  data::TwoCirclesOptions gen;
+  gen.points_per_circle = 120;
+  gen.radius = 1.0;
+  gen.center_distance = 1.2;  // < 2r: the circles intersect (Fig. 1).
+  gen.noise_sigma = 0.01;
+  gen.seed = 42;
+  data::ManifoldSample sample = data::SampleTwoCircles(gen);
+  AsciiScatter(sample);
+
+  // Lift to the quadratic monomials: a circle is a LINEAR constraint on
+  // (x, y, x², y², xy), so the two circles become two linear varieties —
+  // exactly the regime of self-expressive subspace learning.
+  la::Matrix lifted(sample.points.rows(), 5);
+  for (std::size_t i = 0; i < sample.points.rows(); ++i) {
+    const double x = sample.points(i, 0), y = sample.points(i, 1);
+    lifted(i, 0) = x;
+    lifted(i, 1) = y;
+    lifted(i, 2) = x * x;
+    lifted(i, 3) = y * y;
+    lifted(i, 4) = x * y;
+  }
+
+  // pNN member (Eq. 3, p = 5 cosine on the raw coordinates).
+  graph::KnnGraphOptions knn;
+  Result<la::SparseMatrix> we = graph::BuildKnnGraph(sample.points, knn);
+  RHCHME_CHECK(we.ok(), we.status().ToString().c_str());
+
+  // Subspace member (Algorithm 1 on the lifted coordinates).
+  core::SubspaceOptions sub;
+  sub.gamma = 10.0;
+  Result<core::SubspaceResult> ws = core::LearnSubspaceAffinity(lifted, sub);
+  RHCHME_CHECK(ws.ok(), ws.status().ToString().c_str());
+
+  la::Matrix we_dense = we.value().ToDense();
+  const la::Matrix& ws_aff = ws.value().affinity;
+  const double cutoff = 0.5 * gen.radius;
+  TablePrinter t(
+      "Intra-type relationship quality (within = same-manifold edge mass; "
+      "reach = within-mass on pairs further than r/2 apart)",
+      {"Affinity", "within-manifold", "reach (distant pairs)",
+       "mean edge length"});
+  t.AddRow({"pNN graph W^E (Eq. 3)",
+            TablePrinter::Fmt(WithinMass(we_dense, sample.labels), 3),
+            TablePrinter::Fmt(DistantWithinMass(we_dense, sample, cutoff), 3),
+            TablePrinter::Fmt(MeanEdgeLength(we_dense, sample), 3)});
+  t.AddRow({"subspace affinity W^S (Alg. 1)",
+            TablePrinter::Fmt(WithinMass(ws_aff, sample.labels), 3),
+            TablePrinter::Fmt(DistantWithinMass(ws_aff, sample, cutoff), 3),
+            TablePrinter::Fmt(MeanEdgeLength(ws_aff, sample), 3)});
+  t.Print();
+  std::printf(
+      "The pNN graph is precise but local: essentially no edge reaches a\n"
+      "distant within-manifold neighbour (the paper's point z in Fig. 1).\n"
+      "The subspace affinity trades some local precision for global reach,\n"
+      "connecting objects anywhere on the same manifold. The heterogeneous\n"
+      "ensemble (Eq. 12) combines both, which is exactly the paper's\n"
+      "argument for diversity over RMC's many same-type members.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Web-page scenario from the paper's introduction: a page is related to
+// FOUR object types — the pages themselves, content terms, user queries
+// that retrieve them, and users who visit them. RHCHME clusters all four
+// simultaneously; nothing in the solver is specific to K = 3.
+//
+//   $ ./webpage_clustering
+
+#include <cstdio>
+
+#include "rhchme/rhchme.h"
+
+int main() {
+  using namespace rhchme;
+
+  // Planted structure: 4 latent communities shared by pages, terms,
+  // queries and users; co-occurrence is strong within a community.
+  data::BlockWorldOptions gen;
+  gen.objects_per_type = {80, 120, 60, 70};  // pages, terms, queries, users
+  gen.n_classes = 4;
+  gen.within_strength = 1.0;
+  gen.between_strength = 0.2;
+  gen.noise = 0.3;
+  gen.dropout = 0.4;  // Sparse co-occurrence, like real logs.
+  gen.seed = 2024;
+  Result<data::MultiTypeRelationalData> data = data::GenerateBlockWorld(gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("web data: %zu types, %zu objects total, R density %.1f%%\n",
+              data.value().NumTypes(), data.value().TotalObjects(),
+              100.0 * data.value().BuildJointRSparse().Density());
+
+  core::RhchmeOptions opts;
+  opts.max_iterations = 60;
+  opts.lambda = 5.0;  // Block-world magnitudes are O(1), unlike tf-idf.
+  opts.beta = 500.0;
+  core::Rhchme solver(opts);
+  Result<core::RhchmeResult> fit = solver.Fit(data.value());
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table("4-type co-clustering (RHCHME)",
+                     {"Type", "Objects", "FScore", "NMI"});
+  for (std::size_t k = 0; k < data.value().NumTypes(); ++k) {
+    Result<eval::Scores> s = eval::ScoreLabels(
+        data.value().Type(k).labels, fit.value().hocc.labels[k]);
+    table.AddRow({data.value().Type(k).name,
+                  std::to_string(data.value().Type(k).count),
+                  TablePrinter::Fmt(s.value().fscore, 3),
+                  TablePrinter::Fmt(s.value().nmi, 3)});
+  }
+  table.Print();
+
+  // Show a few page<->query cluster associations from S: the central
+  // matrix links cluster p of pages to cluster q of queries.
+  const fact::BlockStructure blocks =
+      fact::BuildBlockStructure(data.value());
+  const la::Matrix& s = fit.value().hocc.s;
+  std::printf("page-cluster x query-cluster association strengths:\n");
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::printf("  page[%zu]:", p);
+    for (std::size_t q = 0; q < 4; ++q) {
+      std::printf(" %7.3f", s(blocks.cluster_offset[0] + p,
+                              blocks.cluster_offset[2] + q));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(cluster ids are arbitrary, so the matching shows up as one clearly\n"
+      " dominant entry per row — a permutation, not a literal diagonal)\n");
+  return 0;
+}

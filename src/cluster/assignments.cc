@@ -1,0 +1,52 @@
+#include "cluster/assignments.h"
+
+namespace rhchme {
+namespace cluster {
+
+std::vector<std::size_t> HardAssignments(const la::Matrix& g, std::size_t r0,
+                                         std::size_t r1, std::size_t c0,
+                                         std::size_t c1) {
+  RHCHME_CHECK(r0 <= r1 && r1 <= g.rows(), "row range out of bounds");
+  RHCHME_CHECK(c0 < c1 && c1 <= g.cols(), "column range out of bounds");
+  std::vector<std::size_t> labels;
+  labels.reserve(r1 - r0);
+  for (std::size_t i = r0; i < r1; ++i) {
+    std::size_t best = c0;
+    for (std::size_t j = c0 + 1; j < c1; ++j) {
+      if (g(i, j) > g(i, best)) best = j;
+    }
+    labels.push_back(best - c0);
+  }
+  return labels;
+}
+
+std::vector<std::size_t> HardAssignments(const la::Matrix& g) {
+  return HardAssignments(g, 0, g.rows(), 0, g.cols());
+}
+
+la::Matrix MembershipFromLabels(const std::vector<std::size_t>& labels,
+                                std::size_t k, double smoothing) {
+  RHCHME_CHECK(k >= 1, "k must be >= 1");
+  RHCHME_CHECK(smoothing >= 0.0 && smoothing < 1.0, "smoothing in [0,1)");
+  la::Matrix g(labels.size(), k);
+  const double off = k > 1 ? smoothing / static_cast<double>(k - 1) : 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    RHCHME_CHECK(labels[i] < k, "label out of range");
+    for (std::size_t j = 0; j < k; ++j) g(i, j) = off;
+    g(i, labels[i]) = 1.0 - smoothing;
+  }
+  g.NormalizeRowsL1(0, k);
+  return g;
+}
+
+la::Matrix RandomMembership(std::size_t n, std::size_t k, Rng* rng) {
+  la::Matrix g(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) g(i, j) = 0.5 + rng->Uniform();
+  }
+  g.NormalizeRowsL1(0, k);
+  return g;
+}
+
+}  // namespace cluster
+}  // namespace rhchme

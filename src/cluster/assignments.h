@@ -1,0 +1,43 @@
+// Conversions between soft membership matrices and hard cluster labels.
+//
+// The HOCC solvers produce a nonnegative membership matrix G whose row i
+// scores object i against each cluster; the evaluation metrics consume hard
+// labels. These helpers also build the k-means-based initial G of
+// Algorithm 2.
+
+#ifndef RHCHME_CLUSTER_ASSIGNMENTS_H_
+#define RHCHME_CLUSTER_ASSIGNMENTS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace cluster {
+
+/// Hard labels: argmax over columns [c0, c1) of each row in [r0, r1).
+/// Labels are relative to c0 (i.e. in [0, c1-c0)). A pass with
+/// c0 = 0, c1 = G.cols(), r0 = 0, r1 = G.rows() covers the whole matrix.
+std::vector<std::size_t> HardAssignments(const la::Matrix& g, std::size_t r0,
+                                         std::size_t r1, std::size_t c0,
+                                         std::size_t c1);
+
+/// Hard labels over the full matrix.
+std::vector<std::size_t> HardAssignments(const la::Matrix& g);
+
+/// Builds an n x k membership block from hard labels: row i carries
+/// (1 - smoothing) on labels[i] and smoothing/(k-1) elsewhere (so the
+/// multiplicative updates never start at exact zeros, which they cannot
+/// leave). Rows are L1-normalised.
+la::Matrix MembershipFromLabels(const std::vector<std::size_t>& labels,
+                                std::size_t k, double smoothing = 0.2);
+
+/// Random row-stochastic n x k membership block (uniform + jitter).
+la::Matrix RandomMembership(std::size_t n, std::size_t k, Rng* rng);
+
+}  // namespace cluster
+}  // namespace rhchme
+
+#endif  // RHCHME_CLUSTER_ASSIGNMENTS_H_

@@ -1,0 +1,138 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rhchme {
+namespace cluster {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// k-means++: first centre uniform, then proportional to D².
+la::Matrix SeedPlusPlus(const la::Matrix& points, std::size_t k, Rng* rng) {
+  const std::size_t n = points.rows(), d = points.cols();
+  la::Matrix centroids(k, d);
+  std::size_t first = rng->UniformInt(n);
+  centroids.SetBlock(0, 0, points.Block(first, 0, 1, d));
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = SquaredDistance(points.row_ptr(i), centroids.row_ptr(c - 1), d);
+      if (v < dist2[i]) dist2[i] = v;
+    }
+    double total = 0.0;
+    for (double v : dist2) total += v;
+    std::size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng->UniformInt(n);  // All points identical to a centre.
+    } else {
+      chosen = rng->Categorical(dist2);
+    }
+    centroids.SetBlock(c, 0, points.Block(chosen, 0, 1, d));
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<std::size_t> assignments;
+  la::Matrix centroids;
+  double inertia;
+  int iterations;
+};
+
+LloydOutcome RunLloyd(const la::Matrix& points, la::Matrix centroids,
+                      const KMeansOptions& opts, Rng* rng) {
+  const std::size_t n = points.rows(), d = points.cols(), k = opts.k;
+  std::vector<std::size_t> assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  double inertia = prev_inertia;
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    // Assignment step.
+    inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double v = SquaredDistance(points.row_ptr(i), centroids.row_ptr(c), d);
+        if (v < best) {
+          best = v;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+      inertia += best;
+    }
+    // Update step; empty clusters are re-seeded on a random point.
+    centroids.Fill(0.0);
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* cr = centroids.row_ptr(assign[i]);
+      const double* pr = points.row_ptr(i);
+      for (std::size_t j = 0; j < d; ++j) cr[j] += pr[j];
+      ++count[assign[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (count[c] == 0) {
+        centroids.SetBlock(c, 0, points.Block(rng->UniformInt(n), 0, 1, d));
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(count[c]);
+      double* cr = centroids.row_ptr(c);
+      for (std::size_t j = 0; j < d; ++j) cr[j] *= inv;
+    }
+    if (prev_inertia - inertia < opts.tolerance) {
+      ++it;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return {std::move(assign), std::move(centroids), inertia, it};
+}
+
+}  // namespace
+
+Status KMeansOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k-means needs k >= 1");
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("k-means needs max_iterations >= 1");
+  }
+  if (restarts <= 0) {
+    return Status::InvalidArgument("k-means needs restarts >= 1");
+  }
+  return Status::OK();
+}
+
+Result<KMeansResult> KMeans(const la::Matrix& points,
+                            const KMeansOptions& opts, Rng* rng) {
+  RHCHME_RETURN_IF_ERROR(opts.Validate());
+  if (points.rows() < opts.k) {
+    return Status::InvalidArgument("k-means: fewer points than clusters");
+  }
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < opts.restarts; ++r) {
+    LloydOutcome out =
+        RunLloyd(points, SeedPlusPlus(points, opts.k, rng), opts, rng);
+    if (out.inertia < best.inertia) {
+      best.assignments = std::move(out.assignments);
+      best.centroids = std::move(out.centroids);
+      best.inertia = out.inertia;
+      best.iterations = out.iterations;
+    }
+  }
+  return best;
+}
+
+}  // namespace cluster
+}  // namespace rhchme

@@ -1,0 +1,104 @@
+#include "core/ensemble.h"
+
+namespace rhchme {
+namespace core {
+
+Status EnsembleOptions::Validate() const {
+  if (!include_subspace && !include_knn) {
+    return Status::InvalidArgument(
+        "ensemble needs at least one member (subspace or pNN)");
+  }
+  if (alpha < 0.0) {
+    return Status::InvalidArgument("ensemble alpha must be nonnegative");
+  }
+  RHCHME_RETURN_IF_ERROR(knn.Validate());
+  return subspace.Validate();
+}
+
+Result<HeterogeneousEnsemble> BuildEnsemble(
+    const data::MultiTypeRelationalData& data,
+    const fact::BlockStructure& blocks, const EnsembleOptions& opts) {
+  RHCHME_RETURN_IF_ERROR(opts.Validate());
+
+  HeterogeneousEnsemble out;
+  out.alpha = opts.alpha;
+  out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
+  out.subspace_affinity.resize(data.NumTypes());
+  out.knn_affinity.resize(data.NumTypes());
+
+  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
+    const data::ObjectType& type = data.Type(k);
+    if (type.features.empty()) {
+      return Status::FailedPrecondition(
+          "type '" + type.name +
+          "' has no features; intra-type relationships cannot be learned");
+    }
+    la::Matrix block(type.count, type.count);
+
+    if (opts.include_subspace) {
+      SubspaceOptions sub = opts.subspace;
+      // Per-type seed offset keeps the W initialisations independent.
+      sub.seed = opts.subspace.seed + 7919 * (k + 1);
+      Result<SubspaceResult> learned =
+          LearnSubspaceAffinity(type.features, sub);
+      if (!learned.ok()) return learned.status();
+      out.subspace_affinity[k] = learned.value().affinity;
+      Result<la::Matrix> lap =
+          graph::BuildLaplacian(out.subspace_affinity[k], opts.laplacian);
+      if (!lap.ok()) return lap.status();
+      block.AddScaled(lap.value(), opts.alpha);
+    }
+
+    if (opts.include_knn) {
+      Result<la::SparseMatrix> knn =
+          graph::BuildKnnGraph(type.features, opts.knn);
+      if (!knn.ok()) return knn.status();
+      out.knn_affinity[k] = std::move(knn).value();
+      Result<la::Matrix> lap =
+          graph::BuildLaplacian(out.knn_affinity[k], opts.laplacian);
+      if (!lap.ok()) return lap.status();
+      block.Add(lap.value());
+    }
+
+    out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
+                           block);
+  }
+  return out;
+}
+
+Result<HeterogeneousEnsemble> ReweightEnsemble(
+    const HeterogeneousEnsemble& base, const fact::BlockStructure& blocks,
+    double alpha, graph::LaplacianKind kind) {
+  if (alpha < 0.0) {
+    return Status::InvalidArgument("ensemble alpha must be nonnegative");
+  }
+  if (base.subspace_affinity.size() != blocks.num_types() ||
+      base.knn_affinity.size() != blocks.num_types()) {
+    return Status::InvalidArgument(
+        "ensemble members do not match the block structure");
+  }
+  HeterogeneousEnsemble out = base;
+  out.alpha = alpha;
+  out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
+  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+    la::Matrix block(blocks.objects(k), blocks.objects(k));
+    if (!base.subspace_affinity[k].empty()) {
+      Result<la::Matrix> lap =
+          graph::BuildLaplacian(base.subspace_affinity[k], kind);
+      if (!lap.ok()) return lap.status();
+      block.AddScaled(lap.value(), alpha);
+    }
+    if (base.knn_affinity[k].nnz() > 0) {
+      Result<la::Matrix> lap =
+          graph::BuildLaplacian(base.knn_affinity[k], kind);
+      if (!lap.ok()) return lap.status();
+      block.Add(lap.value());
+    }
+    out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
+                           block);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rhchme

@@ -1,0 +1,74 @@
+// Heterogeneous manifold ensemble (paper §III.B, Eq. 12).
+//
+// Per object type, two intra-type relationship estimates are combined:
+//
+//   L = alpha · L_S + L_E
+//
+// where L_S is the Laplacian of the subspace-membership affinity W^S
+// (distant but within-manifold neighbours; §III.A) and L_E the Laplacian
+// of a small-p cosine pNN graph W^E (close Euclidean neighbours; Eq. 3).
+// Two *diverse* members give the accuracy that RMC's many same-type
+// members cannot (§III.B). The joint Laplacian is block-diagonal across
+// types and plugs into the regulariser tr(Gᵀ L G) of Eq. 15.
+
+#ifndef RHCHME_CORE_ENSEMBLE_H_
+#define RHCHME_CORE_ENSEMBLE_H_
+
+#include <vector>
+
+#include "core/subspace.h"
+#include "data/multitype_data.h"
+#include "factorization/hocc_common.h"
+#include "graph/knn_graph.h"
+#include "graph/laplacian.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace core {
+
+struct EnsembleOptions {
+  /// Trade-off alpha of Eq. 12. Fig. 2: stable in [0.25, 2], best at 1.
+  double alpha = 1.0;
+  /// pNN member W^E: the paper uses p = 5 with cosine weighting.
+  graph::KnnGraphOptions knn;
+  /// Subspace member W^S (Algorithm 1 settings).
+  SubspaceOptions subspace;
+  graph::LaplacianKind laplacian = graph::LaplacianKind::kSymmetric;
+  /// Ablation switches: drop a member entirely (at least one must stay).
+  bool include_subspace = true;
+  bool include_knn = true;
+
+  Status Validate() const;
+};
+
+/// The assembled ensemble plus its per-type ingredients (kept for
+/// inspection, tests and the subspace demo).
+struct HeterogeneousEnsemble {
+  /// Joint block-diagonal n x n Laplacian, alpha·L_S + L_E per block.
+  la::Matrix laplacian;
+  /// Per-type subspace affinities W^S (empty matrices when disabled).
+  std::vector<la::Matrix> subspace_affinity;
+  /// Per-type pNN affinities W^E (empty when disabled).
+  std::vector<la::SparseMatrix> knn_affinity;
+  double alpha = 1.0;
+};
+
+/// Builds the ensemble for every type of `data` using each type's feature
+/// matrix. Types must have nonempty features.
+Result<HeterogeneousEnsemble> BuildEnsemble(
+    const data::MultiTypeRelationalData& data,
+    const fact::BlockStructure& blocks, const EnsembleOptions& opts);
+
+/// Re-assembles the joint Laplacian from an ensemble's stored members at a
+/// different alpha — the expensive subspace learning is NOT repeated.
+/// Used by alpha sweeps (Fig. 2) and the auto-tuner.
+Result<HeterogeneousEnsemble> ReweightEnsemble(
+    const HeterogeneousEnsemble& base, const fact::BlockStructure& blocks,
+    double alpha,
+    graph::LaplacianKind kind = graph::LaplacianKind::kSymmetric);
+
+}  // namespace core
+}  // namespace rhchme
+
+#endif  // RHCHME_CORE_ENSEMBLE_H_

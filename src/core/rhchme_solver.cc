@@ -1,0 +1,147 @@
+#include "core/rhchme_solver.h"
+
+#include <cmath>
+
+#include "la/gemm.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rhchme {
+namespace core {
+
+Status RhchmeOptions::Validate() const {
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  if (beta < 0.0) return Status::InvalidArgument("beta must be >= 0");
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (tolerance < 0.0) return Status::InvalidArgument("tolerance must be >= 0");
+  return ensemble.Validate();
+}
+
+double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
+                       const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::Matrix& laplacian, double lambda,
+                       double beta) {
+  la::Matrix residual = la::MultiplyNT(la::Multiply(g, s), g);  // G S Gᵀ
+  residual.Sub(r);
+  residual.Scale(-1.0);  // R - G S Gᵀ
+  double l21 = 0.0;
+  if (!error_matrix.empty()) {
+    residual.Sub(error_matrix);
+    l21 = error_matrix.L21Norm();
+  }
+  double smooth = 0.0;
+  if (lambda != 0.0) {
+    smooth = la::FrobeniusInner(la::Multiply(laplacian, g), g);
+  }
+  return residual.FrobeniusNormSquared() + beta * l21 + lambda * smooth;
+}
+
+Result<RhchmeResult> Rhchme::Fit(
+    const data::MultiTypeRelationalData& data) const {
+  RHCHME_RETURN_IF_ERROR(opts_.Validate());
+  RHCHME_RETURN_IF_ERROR(data.Validate());
+  const fact::BlockStructure blocks = fact::BuildBlockStructure(data);
+  Result<HeterogeneousEnsemble> ensemble =
+      BuildEnsemble(data, blocks, opts_.ensemble);
+  if (!ensemble.ok()) return ensemble.status();
+  return FitWithEnsemble(data, ensemble.value());
+}
+
+Result<RhchmeResult> Rhchme::FitWithEnsemble(
+    const data::MultiTypeRelationalData& data,
+    const HeterogeneousEnsemble& ensemble) const {
+  RHCHME_RETURN_IF_ERROR(opts_.Validate());
+  RHCHME_RETURN_IF_ERROR(data.Validate());
+  Stopwatch watch;
+
+  const fact::BlockStructure blocks = fact::BuildBlockStructure(data);
+  const std::size_t n = blocks.total_objects();
+  if (ensemble.laplacian.rows() != n) {
+    return Status::InvalidArgument("ensemble Laplacian size mismatch");
+  }
+
+  // Step 1 of Algorithm 2: the joint inter-type matrix R.
+  const la::Matrix r = data.BuildJointR();
+
+  // ±-parts of L are fixed across iterations (Eq. 21).
+  const la::Matrix lap_pos = la::PositivePart(ensemble.laplacian);
+  const la::Matrix lap_neg = la::NegativePart(ensemble.laplacian);
+
+  // Initialise G (k-means by default) and E_R = 0.
+  Rng rng(opts_.seed);
+  Result<la::Matrix> init =
+      fact::InitMembership(data, blocks, opts_.init, &rng);
+  if (!init.ok()) return init.status();
+  la::Matrix g = std::move(init).value();
+  la::Matrix error(n, n);  // E_R starts at zero (Algorithm 2).
+
+  RhchmeResult out;
+  out.ensemble = ensemble;
+  fact::HoccResult& res = out.hocc;
+  res.objective_trace.reserve(opts_.max_iterations);
+
+  la::Matrix s;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  for (int t = 1; t <= opts_.max_iterations; ++t) {
+    // ---- Step 3: S update (Eq. 18) on M = R - E_R ----------------------
+    la::Matrix m = r;
+    if (opts_.use_error_matrix) m.Sub(error);
+    Result<la::Matrix> s_new = fact::SolveCentralS(g, m, opts_.ridge);
+    if (!s_new.ok()) return s_new.status();
+    s = std::move(s_new).value();
+
+    // ---- Step 4: multiplicative G update (Eq. 21) ----------------------
+    fact::MultiplicativeGUpdate(m, s, opts_.lambda, &lap_pos, &lap_neg,
+                                opts_.mu_eps, &g);
+
+    // ---- Step 5: row ℓ1 normalisation (Eq. 22) -------------------------
+    if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
+
+    // ---- Steps 6–7: E_R update (Eq. 25–27) -----------------------------
+    if (opts_.use_error_matrix) {
+      la::Matrix q = la::MultiplyNT(la::Multiply(g, s), g);
+      q.Scale(-1.0);
+      q.Add(r);  // Q = R - G S Gᵀ
+      // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
+      // 1 / (beta/(2||q_i|| + zeta) + 1).
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* qi = q.row_ptr(i);
+        double norm_sq = 0.0;
+        for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
+        const double d_ii =
+            1.0 / (2.0 * std::sqrt(norm_sq) + opts_.l21_zeta);
+        const double scale = 1.0 / (opts_.beta * d_ii + 1.0);
+        double* ei = error.row_ptr(i);
+        for (std::size_t j = 0; j < n; ++j) ei[j] = scale * qi[j];
+      }
+    }
+
+    // ---- Objective bookkeeping and convergence -------------------------
+    const double objective = RhchmeObjective(
+        r, g, s, opts_.use_error_matrix ? error : la::Matrix(),
+        ensemble.laplacian, opts_.lambda, opts_.beta);
+    res.objective_trace.push_back(objective);
+    res.iterations = t;
+    if (callback_) callback_(t, g);
+
+    const double rel = std::fabs(prev_objective - objective) /
+                       std::max(1.0, std::fabs(prev_objective));
+    if (std::isfinite(prev_objective) && rel < opts_.tolerance) {
+      res.converged = true;
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  res.g = std::move(g);
+  res.s = std::move(s);
+  res.labels = fact::ExtractLabels(blocks, res.g);
+  res.seconds = watch.ElapsedSeconds();
+  if (opts_.use_error_matrix) out.error_matrix = std::move(error);
+  return out;
+}
+
+}  // namespace core
+}  // namespace rhchme

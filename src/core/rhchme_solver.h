@@ -1,0 +1,119 @@
+// RHCHME: Robust High-order Co-clustering via Heterogeneous Manifold
+// Ensemble (paper §III, Algorithm 2) — the library's primary contribution.
+//
+// Solves
+//
+//   min_{G >= 0, G·1_c = 1_n}  ||R − G·S·Gᵀ − E_R||²_F + beta·||E_R||₂,₁
+//                              + lambda·tr(Gᵀ·L·G)               (Eq. 15)
+//
+// by alternating:
+//   1. closed-form S           (Eq. 18)
+//   2. multiplicative G update (Eq. 21) + row ℓ1 normalisation (Eq. 22)
+//   3. closed-form E_R via the reweighted-ℓ₂ surrogate of the L2,1 norm
+//      (Eq. 25–27) — the sample-wise sparse error matrix absorbs
+//      corrupted rows of R.
+//
+// L is the heterogeneous manifold ensemble of Eq. 12 (see ensemble.h).
+// Theorem 1 (monotone descent of Eq. 15 under updates 1–3, without the
+// normalisation step) is covered by property tests.
+
+#ifndef RHCHME_CORE_RHCHME_SOLVER_H_
+#define RHCHME_CORE_RHCHME_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/ensemble.h"
+#include "data/multitype_data.h"
+#include "factorization/hocc_common.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace core {
+
+struct RhchmeOptions {
+  /// Manifold regularisation strength lambda. The paper tunes on
+  /// {0.001 .. 1500}; best around 250 on R-Min20Max200 (Fig. 2).
+  double lambda = 250.0;
+  /// Error-matrix trade-off beta of Eq. 15; larger beta = sparser E_R
+  /// (cleaner data). The paper's best is 50 on its corpora; beta scales
+  /// with the residual row norms 2·||q_i|| and the synthetic corpora here
+  /// sit best around 300 (the Fig. 2 bench re-derives this sweep).
+  double beta = 300.0;
+  /// Heterogeneous ensemble settings (alpha, pNN, subspace learning).
+  EnsembleOptions ensemble;
+  int max_iterations = 100;
+  /// Stop when the relative objective change falls below this.
+  double tolerance = 1e-5;
+  /// Ridge added to GᵀG before inversion (empty-cluster guard, Eq. 18).
+  double ridge = 1e-9;
+  /// Denominator floor of the multiplicative update (Eq. 21).
+  double mu_eps = 1e-12;
+  /// The paper's zeta: perturbation regularising D_ii = 1/(2||q_i|| + zeta)
+  /// when a row of Q vanishes (§III.D.3).
+  double l21_zeta = 1e-8;
+  fact::MembershipInit init = fact::MembershipInit::kKMeans;
+  uint64_t seed = 0;
+  /// Row ℓ1 normalisation of Eq. 22 (trivial-solution guard). On by
+  /// default; exposed for the ablation bench.
+  bool normalize_rows = true;
+  /// Sparse error matrix E_R (robust term). On by default; exposed for
+  /// the ablation bench — disabling recovers a plain graph-regularised
+  /// symmetric NMTF with an ensemble Laplacian.
+  bool use_error_matrix = true;
+
+  Status Validate() const;
+};
+
+/// Per-iteration hook: receives the 1-based iteration index and the
+/// current joint membership matrix (used by the Fig. 3 convergence bench
+/// to score FScore/NMI against ground truth each iteration).
+using IterationCallback =
+    std::function<void(int iteration, const la::Matrix& g)>;
+
+/// Result bundle: fact::HoccResult plus the learned error matrix and the
+/// ensemble that produced it.
+struct RhchmeResult {
+  fact::HoccResult hocc;
+  la::Matrix error_matrix;           ///< Final E_R (empty when disabled).
+  HeterogeneousEnsemble ensemble;    ///< The Laplacian ensemble used.
+};
+
+/// RHCHME driver. Typical use:
+///
+///   core::RhchmeOptions opts;                   // paper defaults
+///   core::Rhchme solver(opts);
+///   auto result = solver.Fit(data);
+///   if (result.ok()) { use result.value().hocc.labels[0] ... }
+class Rhchme {
+ public:
+  explicit Rhchme(RhchmeOptions opts) : opts_(std::move(opts)) {}
+
+  /// Builds the ensemble (stage 1 + 2 of the paper) and solves Eq. 15.
+  Result<RhchmeResult> Fit(const data::MultiTypeRelationalData& data) const;
+
+  /// Solves Eq. 15 against a caller-provided ensemble — used by parameter
+  /// sweeps that vary lambda/beta without re-learning subspaces.
+  Result<RhchmeResult> FitWithEnsemble(
+      const data::MultiTypeRelationalData& data,
+      const HeterogeneousEnsemble& ensemble) const;
+
+  void SetIterationCallback(IterationCallback cb) { callback_ = std::move(cb); }
+
+  const RhchmeOptions& options() const { return opts_; }
+
+ private:
+  RhchmeOptions opts_;
+  IterationCallback callback_;
+};
+
+/// The full objective J₄ of Eq. 15 (exposed for the Theorem 1 tests).
+double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
+                       const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::Matrix& laplacian, double lambda,
+                       double beta);
+
+}  // namespace core
+}  // namespace rhchme
+
+#endif  // RHCHME_CORE_RHCHME_SOLVER_H_

@@ -1,0 +1,240 @@
+#include "core/subspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/gemm.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace core {
+
+Status SpgOptions::Validate() const {
+  if (max_iterations <= 0) {
+    return Status::InvalidArgument("SPG needs max_iterations >= 1");
+  }
+  if (tolerance <= 0.0) {
+    return Status::InvalidArgument("SPG tolerance must be positive");
+  }
+  if (step_min <= 0.0 || step_max <= step_min) {
+    return Status::InvalidArgument("SPG step clamp invalid");
+  }
+  return Status::OK();
+}
+
+Status SubspaceOptions::Validate() const {
+  if (gamma <= 0.0) {
+    return Status::InvalidArgument("subspace gamma must be positive");
+  }
+  if (affine_penalty < 0.0) {
+    return Status::InvalidArgument("affine_penalty must be nonnegative");
+  }
+  return spg.Validate();
+}
+
+void ProjectFeasible(la::Matrix* w) {
+  w->ClampNonNegative();
+  const std::size_t n = std::min(w->rows(), w->cols());
+  for (std::size_t i = 0; i < n; ++i) (*w)(i, i) = 0.0;
+}
+
+namespace {
+
+/// J₂ evaluated from a precomputed W·Q (avoids the n³ re-multiply).
+/// `eta` adds the optional affine penalty eta·||W·1 − 1||².
+double ObjectiveFromWq(const la::Matrix& w, const la::Matrix& gram,
+                       const la::Matrix& wq, double gamma, double eta) {
+  double tr_q = gram.Trace();
+  double tr_wq = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) tr_wq += wq(i, i);
+  const double tr_wqwt = la::FrobeniusInner(wq, w);
+  double sparsity = 0.0;
+  for (double cs : w.ColSums()) sparsity += cs * cs;
+  double affine = 0.0;
+  if (eta > 0.0) {
+    for (double rs : w.RowSums()) affine += (rs - 1.0) * (rs - 1.0);
+  }
+  return gamma * (tr_q - 2.0 * tr_wq + tr_wqwt) + sparsity + eta * affine;
+}
+
+}  // namespace
+
+double SubspaceObjective(const la::Matrix& w, const la::Matrix& gram,
+                         double gamma) {
+  // gamma * tr((I-W) Q (I-W)ᵀ) + ||1ᵀW||².
+  la::Matrix wq = la::Multiply(w, gram);
+  return ObjectiveFromWq(w, gram, wq, gamma, /*eta=*/0.0);
+}
+
+namespace {
+
+/// grad = 2·gamma·(W·Q − Q) + 2·1·(1ᵀW) + 2·eta·(W·1 − 1)·1ᵀ; reuses the
+/// caller's W·Q.
+la::Matrix Gradient(const la::Matrix& w, const la::Matrix& gram,
+                    const la::Matrix& wq, double gamma, double eta) {
+  la::Matrix g = wq;
+  g.Sub(gram);
+  g.Scale(2.0 * gamma);
+  const std::vector<double> cs = w.ColSums();
+  const std::vector<double> rs = eta > 0.0 ? w.RowSums()
+                                           : std::vector<double>();
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    double* r = g.row_ptr(i);
+    const double affine = eta > 0.0 ? 2.0 * eta * (rs[i] - 1.0) : 0.0;
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      r[j] += 2.0 * cs[j] + affine;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Result<SubspaceResult> LearnSubspaceAffinity(const la::Matrix& objects,
+                                             const SubspaceOptions& opts) {
+  RHCHME_RETURN_IF_ERROR(opts.Validate());
+  const std::size_t n = objects.rows();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "subspace learning needs at least two objects");
+  }
+
+  // Gram of object rows; all reconstruction algebra runs through it, so
+  // the ambient dimension D only costs one n²D product here.
+  la::Matrix gram = la::MultiplyNT(objects, objects);
+  if (opts.normalize_rows) {
+    // Scale Gram by the row norms: equivalent to normalising X's rows.
+    std::vector<double> inv_norm(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = std::sqrt(gram(i, i));
+      inv_norm[i] = d > 0.0 ? 1.0 / d : 0.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        gram(i, j) *= inv_norm[i] * inv_norm[j];
+      }
+    }
+  }
+
+  Rng rng(opts.seed);
+  la::Matrix w = la::Matrix::RandomUniform(n, n, &rng, 0.0,
+                                           1.0 / static_cast<double>(n));
+  ProjectFeasible(&w);
+
+  const double eta = opts.affine_penalty;
+  SubspaceResult out;
+  la::Matrix wq = la::Multiply(w, gram);
+  la::Matrix grad = Gradient(w, gram, wq, opts.gamma, eta);
+  double step = 1.0;  // Initial BB steplength guess.
+  bool converged = false;
+  int it = 0;
+  for (; it < opts.spg.max_iterations; ++it) {
+    // Stationarity check: ||P(W - grad) - W||_inf.
+    {
+      la::Matrix probe = w;
+      probe.AddScaled(grad, -1.0);
+      ProjectFeasible(&probe);
+      probe.Sub(w);
+      if (probe.MaxAbs() <= opts.spg.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+
+    // Projected direction d = P(W - step·grad) - W.
+    la::Matrix d = w;
+    d.AddScaled(grad, -step);
+    ProjectFeasible(&d);
+    d.Sub(w);
+
+    // J₂ is a convex quadratic, so the line objective
+    //   f(W + t·d) = f(W) + b·t + a·t²
+    // is exact; the minimiser replaces the Armijo search of Algorithm 1
+    // and guarantees monotone descent.
+    la::Matrix dq = la::Multiply(d, gram);
+    const std::vector<double> cs_w = w.ColSums();
+    const std::vector<double> cs_d = d.ColSums();
+    double tr_dq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) tr_dq += dq(i, i);
+    const double fi_dq_w = la::FrobeniusInner(dq, w);
+    const double fi_dq_d = la::FrobeniusInner(dq, d);
+    double dot_cs = 0.0, cs_d_sq = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      dot_cs += cs_w[j] * cs_d[j];
+      cs_d_sq += cs_d[j] * cs_d[j];
+    }
+    double b = -2.0 * opts.gamma * (tr_dq - fi_dq_w) + 2.0 * dot_cs;
+    double a = opts.gamma * fi_dq_d + cs_d_sq;
+    if (eta > 0.0) {
+      // Affine term: eta·||(W + t·d)·1 − 1||² adds eta·(2t·<u, v> + t²·|v|²)
+      // with u = W·1 − 1, v = d·1.
+      const std::vector<double> rs_w = w.RowSums();
+      const std::vector<double> rs_d = d.RowSums();
+      double uv = 0.0, vv = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        uv += (rs_w[i] - 1.0) * rs_d[i];
+        vv += rs_d[i] * rs_d[i];
+      }
+      b += 2.0 * eta * uv;
+      a += eta * vv;
+    }
+
+    double t = 1.0;
+    if (a > 0.0) t = std::clamp(-b / (2.0 * a), 1e-6, 1.0);
+
+    // Take the step; track s and y for the Barzilai–Borwein steplength.
+    la::Matrix s = d;
+    s.Scale(t);
+    w.Add(s);
+    la::MultiplyInto(w, gram, &wq);
+    la::Matrix grad_new = Gradient(w, gram, wq, opts.gamma, eta);
+    la::Matrix y = grad_new;
+    y.Sub(grad);
+    const double sy = la::FrobeniusInner(s, y);
+    const double ss = la::FrobeniusInner(s, s);
+    step = sy > 0.0 ? std::clamp(ss / sy, opts.spg.step_min,
+                                 opts.spg.step_max)
+                    : opts.spg.step_max;
+    grad = std::move(grad_new);
+
+    out.objective_trace.push_back(
+        ObjectiveFromWq(w, gram, wq, opts.gamma, eta));
+  }
+
+  // Post-processing: prune dust, symmetrise for Laplacian use.
+  if (opts.prune_rel_tol > 0.0) {
+    const double cut = opts.prune_rel_tol * w.MaxAbs();
+    w.Apply([cut](double v) { return v < cut ? 0.0 : v; });
+  }
+  if (opts.keep_top_k > 0 && opts.keep_top_k < n - 1) {
+    std::vector<std::pair<double, std::size_t>> row;
+    for (std::size_t i = 0; i < n; ++i) {
+      row.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (w(i, j) > 0.0) row.push_back({w(i, j), j});
+      }
+      if (row.size() <= opts.keep_top_k) continue;
+      std::nth_element(row.begin(),
+                       row.begin() + static_cast<std::ptrdiff_t>(
+                                         opts.keep_top_k - 1),
+                       row.end(), std::greater<>());
+      const double cut = row[opts.keep_top_k - 1].first;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (w(i, j) < cut) w(i, j) = 0.0;
+      }
+    }
+  }
+  if (opts.symmetrize) {
+    la::Matrix wt = w.Transposed();
+    w.Add(wt);
+    w.Scale(0.5);
+  }
+
+  out.affinity = std::move(w);
+  out.iterations = it;
+  out.converged = converged;
+  return out;
+}
+
+}  // namespace core
+}  // namespace rhchme

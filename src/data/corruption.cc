@@ -1,0 +1,61 @@
+#include "data/corruption.h"
+
+#include <algorithm>
+
+namespace rhchme {
+namespace data {
+
+std::vector<std::size_t> CorruptRows(la::Matrix* m,
+                                     const RowCorruptionOptions& opts,
+                                     Rng* rng) {
+  RHCHME_CHECK(opts.row_fraction >= 0.0 && opts.row_fraction <= 1.0,
+               "row_fraction must be in [0,1]");
+  const std::size_t n = m->rows();
+  const auto n_corrupt = static_cast<std::size_t>(
+      opts.row_fraction * static_cast<double>(n) + 0.5);
+  if (n_corrupt == 0) return {};
+
+  // Scale spikes to the data's own magnitude.
+  double pos_sum = 0.0;
+  std::size_t pos_cnt = 0;
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    if (m->data()[i] > 0.0) {
+      pos_sum += m->data()[i];
+      ++pos_cnt;
+    }
+  }
+  const double mean_pos = pos_cnt > 0 ? pos_sum / static_cast<double>(pos_cnt)
+                                      : 1.0;
+  const double spike = opts.magnitude * mean_pos;
+
+  std::vector<std::size_t> rows = rng->SampleWithoutReplacement(n, n_corrupt);
+  std::sort(rows.begin(), rows.end());
+  for (std::size_t i : rows) {
+    double* r = m->row_ptr(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) {
+      if (rng->Uniform() < opts.entry_fraction) {
+        r[j] += spike * rng->Uniform();
+      }
+    }
+  }
+  return rows;
+}
+
+void AddGaussianNoise(la::Matrix* m, double sigma, Rng* rng,
+                      bool keep_nonnegative) {
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    m->data()[i] += rng->Normal(0.0, sigma);
+  }
+  if (keep_nonnegative) m->ClampNonNegative();
+}
+
+void AddSparseSpikes(la::Matrix* m, double prob, double magnitude, Rng* rng) {
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    if (rng->Uniform() < prob) {
+      m->data()[i] = magnitude * rng->Uniform();
+    }
+  }
+}
+
+}  // namespace data
+}  // namespace rhchme

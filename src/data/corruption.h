@@ -1,0 +1,47 @@
+// Noise and corruption injection.
+//
+// The robustness experiments corrupt a fraction of data rows (sample-wise,
+// matching the L2,1 error model of paper Eq. 13/14) or add dense Gaussian
+// noise/sparse spikes. All functions mutate in place and are deterministic
+// given the Rng.
+
+#ifndef RHCHME_DATA_CORRUPTION_H_
+#define RHCHME_DATA_CORRUPTION_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace data {
+
+struct RowCorruptionOptions {
+  /// Fraction of rows to corrupt, in [0, 1].
+  double row_fraction = 0.1;
+  /// Spike magnitude relative to the matrix's mean positive entry.
+  double magnitude = 3.0;
+  /// Fraction of entries within a corrupted row that receive a spike.
+  double entry_fraction = 0.5;
+};
+
+/// Corrupts a random subset of rows with positive uniform spikes; returns
+/// the corrupted row indices (useful for asserting that E_R localises the
+/// damage).
+std::vector<std::size_t> CorruptRows(la::Matrix* m,
+                                     const RowCorruptionOptions& opts,
+                                     Rng* rng);
+
+/// Adds i.i.d. N(0, sigma²) noise to every entry, then clamps at zero if
+/// `keep_nonnegative` (relationship matrices must stay in R+).
+void AddGaussianNoise(la::Matrix* m, double sigma, Rng* rng,
+                      bool keep_nonnegative = true);
+
+/// Sets each entry to `magnitude * Uniform()` with probability `prob`
+/// (gross sparse corruption).
+void AddSparseSpikes(la::Matrix* m, double prob, double magnitude, Rng* rng);
+
+}  // namespace data
+}  // namespace rhchme
+
+#endif  // RHCHME_DATA_CORRUPTION_H_

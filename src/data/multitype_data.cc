@@ -1,0 +1,157 @@
+#include "data/multitype_data.h"
+
+#include <string>
+
+namespace rhchme {
+namespace data {
+
+std::size_t MultiTypeRelationalData::AddType(ObjectType type) {
+  types_.push_back(std::move(type));
+  return types_.size() - 1;
+}
+
+Status MultiTypeRelationalData::SetRelation(std::size_t k, std::size_t l,
+                                            la::Matrix r) {
+  if (k >= types_.size() || l >= types_.size()) {
+    return Status::InvalidArgument("SetRelation: type index out of range");
+  }
+  if (k == l) {
+    return Status::InvalidArgument(
+        "SetRelation: diagonal blocks of R are zero by definition; intra-type "
+        "relationships are learned, not provided");
+  }
+  if (r.rows() != types_[k].count || r.cols() != types_[l].count) {
+    return Status::InvalidArgument("SetRelation: block shape mismatch");
+  }
+  if (k < l) {
+    relations_[{k, l}] = std::move(r);
+  } else {
+    relations_[{l, k}] = r.Transposed();
+  }
+  return Status::OK();
+}
+
+const ObjectType& MultiTypeRelationalData::Type(std::size_t k) const {
+  RHCHME_CHECK(k < types_.size(), "type index out of range");
+  return types_[k];
+}
+
+ObjectType& MultiTypeRelationalData::MutableType(std::size_t k) {
+  RHCHME_CHECK(k < types_.size(), "type index out of range");
+  return types_[k];
+}
+
+bool MultiTypeRelationalData::HasRelation(std::size_t k, std::size_t l) const {
+  if (k == l) return false;
+  return relations_.count({std::min(k, l), std::max(k, l)}) > 0;
+}
+
+la::Matrix MultiTypeRelationalData::Relation(std::size_t k,
+                                             std::size_t l) const {
+  RHCHME_CHECK(HasRelation(k, l), "relation not set");
+  const la::Matrix& stored = relations_.at({std::min(k, l), std::max(k, l)});
+  return k < l ? stored : stored.Transposed();
+}
+
+std::size_t MultiTypeRelationalData::TotalObjects() const {
+  std::size_t n = 0;
+  for (const auto& t : types_) n += t.count;
+  return n;
+}
+
+std::size_t MultiTypeRelationalData::TotalClusters() const {
+  std::size_t c = 0;
+  for (const auto& t : types_) c += t.clusters;
+  return c;
+}
+
+std::size_t MultiTypeRelationalData::TypeOffset(std::size_t k) const {
+  RHCHME_CHECK(k < types_.size(), "type index out of range");
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < k; ++i) off += types_[i].count;
+  return off;
+}
+
+std::size_t MultiTypeRelationalData::ClusterOffset(std::size_t k) const {
+  RHCHME_CHECK(k < types_.size(), "type index out of range");
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < k; ++i) off += types_[i].clusters;
+  return off;
+}
+
+la::Matrix MultiTypeRelationalData::BuildJointR() const {
+  const std::size_t n = TotalObjects();
+  la::Matrix r(n, n);
+  for (const auto& [key, block] : relations_) {
+    const std::size_t rk = TypeOffset(key.first);
+    const std::size_t cl = TypeOffset(key.second);
+    r.SetBlock(rk, cl, block);
+    r.SetBlock(cl, rk, block.Transposed());
+  }
+  return r;
+}
+
+la::SparseMatrix MultiTypeRelationalData::BuildJointRSparse() const {
+  const std::size_t n = TotalObjects();
+  std::vector<la::Triplet> trips;
+  for (const auto& [key, block] : relations_) {
+    const std::size_t rk = TypeOffset(key.first);
+    const std::size_t cl = TypeOffset(key.second);
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      for (std::size_t j = 0; j < block.cols(); ++j) {
+        const double v = block(i, j);
+        if (v != 0.0) {
+          trips.push_back({rk + i, cl + j, v});
+          trips.push_back({cl + j, rk + i, v});
+        }
+      }
+    }
+  }
+  return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
+std::vector<std::size_t> MultiTypeRelationalData::JointLabels() const {
+  std::vector<std::size_t> joint;
+  for (const auto& t : types_) {
+    if (t.labels.size() != t.count) return {};
+    joint.insert(joint.end(), t.labels.begin(), t.labels.end());
+  }
+  return joint;
+}
+
+Status MultiTypeRelationalData::Validate() const {
+  if (types_.empty()) {
+    return Status::InvalidArgument("data has no object types");
+  }
+  for (std::size_t k = 0; k < types_.size(); ++k) {
+    const auto& t = types_[k];
+    if (t.count == 0) {
+      return Status::InvalidArgument("type '" + t.name + "' has no objects");
+    }
+    if (t.clusters == 0 || t.clusters > t.count) {
+      return Status::InvalidArgument("type '" + t.name +
+                                     "' has invalid cluster count");
+    }
+    if (!t.features.empty() && t.features.rows() != t.count) {
+      return Status::InvalidArgument("type '" + t.name +
+                                     "' feature rows != object count");
+    }
+    if (!t.labels.empty() && t.labels.size() != t.count) {
+      return Status::InvalidArgument("type '" + t.name +
+                                     "' label count != object count");
+    }
+    bool has_any = false;
+    for (std::size_t l = 0; l < types_.size() && !has_any; ++l) {
+      has_any = HasRelation(k, l);
+    }
+    if (!has_any) {
+      return Status::InvalidArgument(
+          "type '" + t.name +
+          "' participates in no inter-type relation; it cannot be co-clustered");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace rhchme

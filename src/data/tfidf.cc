@@ -1,0 +1,54 @@
+#include "data/tfidf.h"
+
+#include <cmath>
+
+namespace rhchme {
+namespace data {
+
+la::Matrix TfIdf(const la::Matrix& counts, const TfIdfOptions& opts) {
+  const std::size_t n_docs = counts.rows(), n_terms = counts.cols();
+  la::Matrix out = counts;
+  out.ClampNonNegative();
+
+  // Document frequency per term.
+  std::vector<double> df(n_terms, 0.0);
+  for (std::size_t i = 0; i < n_docs; ++i) {
+    const double* r = out.row_ptr(i);
+    for (std::size_t j = 0; j < n_terms; ++j) {
+      if (r[j] > 0.0) df[j] += 1.0;
+    }
+  }
+  std::vector<double> idf(n_terms, 0.0);
+  const double n = static_cast<double>(n_docs);
+  for (std::size_t j = 0; j < n_terms; ++j) {
+    if (opts.smooth_idf) {
+      idf[j] = std::log((1.0 + n) / (1.0 + df[j])) + 1.0;
+    } else {
+      idf[j] = df[j] > 0.0 ? std::log(n / df[j]) : 0.0;
+    }
+  }
+
+  for (std::size_t i = 0; i < n_docs; ++i) {
+    double* r = out.row_ptr(i);
+    for (std::size_t j = 0; j < n_terms; ++j) {
+      double tf = r[j];
+      // Sublinear scaling: the classic 1 + log(tf) for tf >= 1; linear
+      // below 1 (fractional masses occur for mapped concept counts) so
+      // the weight stays positive and continuous at tf = 1.
+      if (tf >= 1.0 && opts.sublinear_tf) tf = 1.0 + std::log(tf);
+      r[j] = tf * idf[j];
+    }
+    if (opts.l2_normalize) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n_terms; ++j) s += r[j] * r[j];
+      if (s > 0.0) {
+        double inv = 1.0 / std::sqrt(s);
+        for (std::size_t j = 0; j < n_terms; ++j) r[j] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace rhchme

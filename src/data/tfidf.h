@@ -1,0 +1,28 @@
+// tf-idf weighting (paper §IV.A: document-term blocks carry tf-idf values).
+
+#ifndef RHCHME_DATA_TFIDF_H_
+#define RHCHME_DATA_TFIDF_H_
+
+#include "la/matrix.h"
+
+namespace rhchme {
+namespace data {
+
+struct TfIdfOptions {
+  /// Use 1 + log(tf) instead of raw term frequency for tf > 0.
+  bool sublinear_tf = true;
+  /// Smooth idf: log((1 + N) / (1 + df)) + 1 (never zero, never divides
+  /// by zero for terms absent from every document).
+  bool smooth_idf = true;
+  /// L2-normalise each document row afterwards.
+  bool l2_normalize = true;
+};
+
+/// Transforms a nonnegative document x term count matrix into tf-idf
+/// weights. Negative counts are clamped to zero first.
+la::Matrix TfIdf(const la::Matrix& counts, const TfIdfOptions& opts = {});
+
+}  // namespace data
+}  // namespace rhchme
+
+#endif  // RHCHME_DATA_TFIDF_H_

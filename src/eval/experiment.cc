@@ -1,0 +1,199 @@
+#include "eval/experiment.h"
+
+#include "util/stopwatch.h"
+
+#include <algorithm>
+
+namespace rhchme {
+namespace eval {
+
+Result<Scores> ScoreLabels(const std::vector<std::size_t>& truth,
+                           const std::vector<std::size_t>& predicted) {
+  Result<double> f = FScore(truth, predicted);
+  if (!f.ok()) return f.status();
+  Result<double> n = Nmi(truth, predicted);
+  if (!n.ok()) return n.status();
+  return Scores{f.value(), n.value()};
+}
+
+namespace {
+
+bool WantMethod(const PaperBenchOptions& opts, const std::string& name) {
+  if (opts.methods.empty()) return true;
+  return std::find(opts.methods.begin(), opts.methods.end(), name) !=
+         opts.methods.end();
+}
+
+/// Accumulates per-restart outcomes into one averaged MethodRun.
+class RunAverager {
+ public:
+  RunAverager(std::string method, std::string dataset)
+      : run_{std::move(method), std::move(dataset), {}, 0.0, 0, true} {}
+
+  void Add(const Scores& scores, double seconds, int iterations,
+           bool converged) {
+    run_.scores.fscore += scores.fscore;
+    run_.scores.nmi += scores.nmi;
+    run_.seconds += seconds;
+    run_.iterations += iterations;
+    run_.converged = run_.converged && converged;
+    ++count_;
+  }
+
+  MethodRun Finish() {
+    MethodRun out = run_;
+    if (count_ > 0) {
+      out.scores.fscore /= count_;
+      out.scores.nmi /= count_;
+      out.seconds /= count_;
+      out.iterations /= count_;
+    }
+    return out;
+  }
+
+ private:
+  MethodRun run_;
+  int count_ = 0;
+};
+
+/// Runs one DRCC variant (averaged over restarts).
+Result<MethodRun> RunDrccVariant(const la::Matrix& x,
+                                 const std::vector<std::size_t>& truth,
+                                 std::size_t row_clusters,
+                                 std::size_t col_clusters,
+                                 const std::string& name,
+                                 const std::string& dataset,
+                                 const PaperBenchOptions& bench) {
+  RunAverager avg(name, dataset);
+  for (int r = 0; r < bench.restarts; ++r) {
+    baselines::DrccOptions opts = bench.drcc;
+    opts.row_clusters = row_clusters;
+    opts.col_clusters = col_clusters;
+    opts.seed = bench.seed_base + static_cast<uint64_t>(r);
+    Result<baselines::DrccResult> fit = baselines::RunDrcc(x, opts);
+    if (!fit.ok()) return fit.status();
+    Result<Scores> scores = ScoreLabels(truth, fit.value().row_labels);
+    if (!scores.ok()) return scores.status();
+    avg.Add(scores.value(), fit.value().seconds, fit.value().iterations,
+            fit.value().converged);
+  }
+  return avg.Finish();
+}
+
+}  // namespace
+
+Result<std::vector<MethodRun>> RunPaperMethods(
+    const data::MultiTypeRelationalData& data, const std::string& dataset_name,
+    const PaperBenchOptions& opts) {
+  RHCHME_RETURN_IF_ERROR(data.Validate());
+  if (opts.restarts < 1) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+  if (data.Type(0).labels.empty()) {
+    return Status::InvalidArgument(
+        "type 0 (documents) must carry ground-truth labels");
+  }
+  const std::vector<std::size_t>& truth = data.Type(0).labels;
+  const std::size_t doc_clusters = data.Type(0).clusters;
+  const bool has_concepts = data.NumTypes() >= 3 && data.HasRelation(0, 2);
+
+  std::vector<MethodRun> runs;
+
+  if (WantMethod(opts, "DR-T") && data.HasRelation(0, 1)) {
+    Result<MethodRun> run = RunDrccVariant(
+        data.Relation(0, 1), truth, doc_clusters, data.Type(1).clusters,
+        "DR-T", dataset_name, opts);
+    if (!run.ok()) return run.status();
+    runs.push_back(run.value());
+  }
+  if (WantMethod(opts, "DR-C") && has_concepts) {
+    Result<MethodRun> run = RunDrccVariant(
+        data.Relation(0, 2), truth, doc_clusters, data.Type(2).clusters,
+        "DR-C", dataset_name, opts);
+    if (!run.ok()) return run.status();
+    runs.push_back(run.value());
+  }
+  if (WantMethod(opts, "DR-TC") && has_concepts && data.HasRelation(0, 1)) {
+    const la::Matrix x =
+        la::HConcat(data.Relation(0, 1), data.Relation(0, 2));
+    Result<MethodRun> run = RunDrccVariant(
+        x, truth, doc_clusters,
+        data.Type(1).clusters + data.Type(2).clusters, "DR-TC", dataset_name,
+        opts);
+    if (!run.ok()) return run.status();
+    runs.push_back(run.value());
+  }
+
+  if (WantMethod(opts, "SRC")) {
+    RunAverager avg("SRC", dataset_name);
+    for (int r = 0; r < opts.restarts; ++r) {
+      baselines::SrcOptions o = opts.src;
+      o.seed = opts.seed_base + static_cast<uint64_t>(r);
+      Result<fact::HoccResult> fit = baselines::RunSrc(data, o);
+      if (!fit.ok()) return fit.status();
+      Result<Scores> scores = ScoreLabels(truth, fit.value().labels[0]);
+      if (!scores.ok()) return scores.status();
+      avg.Add(scores.value(), fit.value().seconds, fit.value().iterations,
+              fit.value().converged);
+    }
+    runs.push_back(avg.Finish());
+  }
+  if (WantMethod(opts, "SNMTF")) {
+    RunAverager avg("SNMTF", dataset_name);
+    for (int r = 0; r < opts.restarts; ++r) {
+      baselines::SnmtfOptions o = opts.snmtf;
+      o.seed = opts.seed_base + static_cast<uint64_t>(r);
+      Result<fact::HoccResult> fit = baselines::RunSnmtf(data, o);
+      if (!fit.ok()) return fit.status();
+      Result<Scores> scores = ScoreLabels(truth, fit.value().labels[0]);
+      if (!scores.ok()) return scores.status();
+      avg.Add(scores.value(), fit.value().seconds, fit.value().iterations,
+              fit.value().converged);
+    }
+    runs.push_back(avg.Finish());
+  }
+  if (WantMethod(opts, "RMC")) {
+    RunAverager avg("RMC", dataset_name);
+    for (int r = 0; r < opts.restarts; ++r) {
+      baselines::RmcOptions o = opts.rmc;
+      o.seed = opts.seed_base + static_cast<uint64_t>(r);
+      Result<baselines::RmcResult> fit = baselines::RunRmc(data, o);
+      if (!fit.ok()) return fit.status();
+      Result<Scores> scores = ScoreLabels(truth, fit.value().hocc.labels[0]);
+      if (!scores.ok()) return scores.status();
+      avg.Add(scores.value(), fit.value().hocc.seconds,
+              fit.value().hocc.iterations, fit.value().hocc.converged);
+    }
+    runs.push_back(avg.Finish());
+  }
+  if (WantMethod(opts, "RHCHME")) {
+    // The ensemble (intra-type learning) does not depend on the restart
+    // seed; learn it once and share it. Its cost is charged to every
+    // restart so Table V reflects a full fit.
+    const fact::BlockStructure blocks = fact::BuildBlockStructure(data);
+    Stopwatch ensemble_watch;
+    Result<core::HeterogeneousEnsemble> ensemble =
+        core::BuildEnsemble(data, blocks, opts.rhchme.ensemble);
+    if (!ensemble.ok()) return ensemble.status();
+    const double ensemble_seconds = ensemble_watch.ElapsedSeconds();
+
+    RunAverager avg("RHCHME", dataset_name);
+    for (int r = 0; r < opts.restarts; ++r) {
+      core::RhchmeOptions o = opts.rhchme;
+      o.seed = opts.seed_base + static_cast<uint64_t>(r);
+      core::Rhchme solver(o);
+      Result<core::RhchmeResult> fit =
+          solver.FitWithEnsemble(data, ensemble.value());
+      if (!fit.ok()) return fit.status();
+      Result<Scores> scores = ScoreLabels(truth, fit.value().hocc.labels[0]);
+      if (!scores.ok()) return scores.status();
+      avg.Add(scores.value(), fit.value().hocc.seconds + ensemble_seconds,
+              fit.value().hocc.iterations, fit.value().hocc.converged);
+    }
+    runs.push_back(avg.Finish());
+  }
+  return runs;
+}
+
+}  // namespace eval
+}  // namespace rhchme

@@ -1,0 +1,147 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace rhchme {
+namespace eval {
+namespace {
+
+/// Maps arbitrary label values onto 0..k-1.
+std::vector<std::size_t> Compact(const std::vector<std::size_t>& labels,
+                                 std::size_t* k_out) {
+  std::map<std::size_t, std::size_t> remap;
+  std::vector<std::size_t> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] = remap.emplace(labels[i], remap.size());
+    out[i] = it->second;
+  }
+  *k_out = remap.size();
+  return out;
+}
+
+}  // namespace
+
+Result<ContingencyTable> ContingencyTable::Build(
+    const std::vector<std::size_t>& truth,
+    const std::vector<std::size_t>& predicted) {
+  if (truth.empty() || truth.size() != predicted.size()) {
+    return Status::InvalidArgument(
+        "metrics need equal, nonzero label vectors");
+  }
+  ContingencyTable t;
+  std::size_t n_classes = 0, n_clusters = 0;
+  const std::vector<std::size_t> tc = Compact(truth, &n_classes);
+  const std::vector<std::size_t> pc = Compact(predicted, &n_clusters);
+  t.class_sizes_.assign(n_classes, 0);
+  t.cluster_sizes_.assign(n_clusters, 0);
+  t.counts_.assign(n_classes * n_clusters, 0);
+  t.total_ = truth.size();
+  for (std::size_t i = 0; i < tc.size(); ++i) {
+    ++t.class_sizes_[tc[i]];
+    ++t.cluster_sizes_[pc[i]];
+    ++t.counts_[tc[i] * n_clusters + pc[i]];
+  }
+  return t;
+}
+
+Result<double> FScore(const std::vector<std::size_t>& truth,
+                      const std::vector<std::size_t>& predicted) {
+  Result<ContingencyTable> table = ContingencyTable::Build(truth, predicted);
+  if (!table.ok()) return table.status();
+  const ContingencyTable& t = table.value();
+  const double n = static_cast<double>(t.total());
+  double score = 0.0;
+  for (std::size_t j = 0; j < t.num_classes(); ++j) {
+    const double nj = static_cast<double>(t.class_size(j));
+    double best = 0.0;
+    for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+      const double njl = static_cast<double>(t.joint(j, l));
+      if (njl == 0.0) continue;
+      const double nl = static_cast<double>(t.cluster_size(l));
+      const double recall = njl / nj;
+      const double precision = njl / nl;
+      best = std::max(best,
+                      2.0 * recall * precision / (recall + precision));
+    }
+    score += (nj / n) * best;
+  }
+  return score;
+}
+
+Result<double> Nmi(const std::vector<std::size_t>& truth,
+                   const std::vector<std::size_t>& predicted) {
+  Result<ContingencyTable> table = ContingencyTable::Build(truth, predicted);
+  if (!table.ok()) return table.status();
+  const ContingencyTable& t = table.value();
+  const double n = static_cast<double>(t.total());
+
+  double h_class = 0.0, h_cluster = 0.0, mi = 0.0;
+  for (std::size_t j = 0; j < t.num_classes(); ++j) {
+    const double p = static_cast<double>(t.class_size(j)) / n;
+    if (p > 0.0) h_class -= p * std::log(p);
+  }
+  for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+    const double p = static_cast<double>(t.cluster_size(l)) / n;
+    if (p > 0.0) h_cluster -= p * std::log(p);
+  }
+  for (std::size_t j = 0; j < t.num_classes(); ++j) {
+    for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+      const double njl = static_cast<double>(t.joint(j, l));
+      if (njl == 0.0) continue;
+      const double pj = static_cast<double>(t.class_size(j));
+      const double pl = static_cast<double>(t.cluster_size(l));
+      mi += (njl / n) * std::log(n * njl / (pj * pl));
+    }
+  }
+  if (h_class <= 0.0 || h_cluster <= 0.0) {
+    // One side is a single block: identical partitions iff both are.
+    return (t.num_classes() == 1 && t.num_clusters() == 1) ? 1.0 : 0.0;
+  }
+  return std::clamp(mi / std::sqrt(h_class * h_cluster), 0.0, 1.0);
+}
+
+Result<double> Purity(const std::vector<std::size_t>& truth,
+                      const std::vector<std::size_t>& predicted) {
+  Result<ContingencyTable> table = ContingencyTable::Build(truth, predicted);
+  if (!table.ok()) return table.status();
+  const ContingencyTable& t = table.value();
+  std::size_t correct = 0;
+  for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+    std::size_t best = 0;
+    for (std::size_t j = 0; j < t.num_classes(); ++j) {
+      best = std::max(best, t.joint(j, l));
+    }
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(t.total());
+}
+
+Result<double> AdjustedRandIndex(const std::vector<std::size_t>& truth,
+                                 const std::vector<std::size_t>& predicted) {
+  Result<ContingencyTable> table = ContingencyTable::Build(truth, predicted);
+  if (!table.ok()) return table.status();
+  const ContingencyTable& t = table.value();
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+
+  double sum_joint = 0.0, sum_class = 0.0, sum_cluster = 0.0;
+  for (std::size_t j = 0; j < t.num_classes(); ++j) {
+    sum_class += choose2(static_cast<double>(t.class_size(j)));
+    for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+      sum_joint += choose2(static_cast<double>(t.joint(j, l)));
+    }
+  }
+  for (std::size_t l = 0; l < t.num_clusters(); ++l) {
+    sum_cluster += choose2(static_cast<double>(t.cluster_size(l)));
+  }
+  const double total2 = choose2(static_cast<double>(t.total()));
+  if (total2 == 0.0) return 0.0;
+  const double expected = sum_class * sum_cluster / total2;
+  const double max_index = 0.5 * (sum_class + sum_cluster);
+  if (max_index - expected == 0.0) return 0.0;
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace eval
+}  // namespace rhchme

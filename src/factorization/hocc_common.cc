@@ -1,0 +1,166 @@
+#include "factorization/hocc_common.h"
+
+#include <cmath>
+
+#include "cluster/assignments.h"
+#include "cluster/kmeans.h"
+#include "la/gemm.h"
+#include "la/solve.h"
+
+namespace rhchme {
+namespace fact {
+
+BlockStructure BuildBlockStructure(const data::MultiTypeRelationalData& data) {
+  BlockStructure b;
+  b.type_offset.assign(1, 0);
+  b.cluster_offset.assign(1, 0);
+  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
+    b.type_offset.push_back(b.type_offset.back() + data.Type(k).count);
+    b.cluster_offset.push_back(b.cluster_offset.back() +
+                               data.Type(k).clusters);
+  }
+  return b;
+}
+
+Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
+                                  const BlockStructure& blocks,
+                                  MembershipInit init, Rng* rng) {
+  la::Matrix g(blocks.total_objects(), blocks.total_clusters());
+  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
+    const data::ObjectType& type = data.Type(k);
+    la::Matrix block;
+    if (init == MembershipInit::kKMeans && !type.features.empty()) {
+      // Spherical initialisation: L2-normalise object rows so the seeding
+      // reflects direction (content) rather than magnitude — otherwise
+      // corrupted high-norm rows capture the k-means++ centroids.
+      la::Matrix unit = type.features;
+      for (std::size_t i = 0; i < unit.rows(); ++i) {
+        double* r = unit.row_ptr(i);
+        double norm = 0.0;
+        for (std::size_t j = 0; j < unit.cols(); ++j) norm += r[j] * r[j];
+        if (norm > 0.0) {
+          const double inv = 1.0 / std::sqrt(norm);
+          for (std::size_t j = 0; j < unit.cols(); ++j) r[j] *= inv;
+        }
+      }
+      cluster::KMeansOptions kopts;
+      kopts.k = type.clusters;
+      kopts.restarts = 2;
+      Result<cluster::KMeansResult> km = cluster::KMeans(unit, kopts, rng);
+      if (!km.ok()) return km.status();
+      block = cluster::MembershipFromLabels(km.value().assignments,
+                                            type.clusters);
+    } else {
+      block = cluster::RandomMembership(type.count, type.clusters, rng);
+    }
+    g.SetBlock(blocks.type_offset[k], blocks.cluster_offset[k], block);
+  }
+  return g;
+}
+
+Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
+                                 double ridge) {
+  if (g.rows() != m.rows() || m.rows() != m.cols()) {
+    return Status::InvalidArgument("SolveCentralS: shape mismatch");
+  }
+  // S = (GᵀG + rI)⁻¹ Gᵀ M G (GᵀG + rI)⁻¹, evaluated as two solves.
+  la::Matrix gtg = la::Gram(g);
+  la::Matrix gtmg = la::MultiplyTN(g, la::Multiply(m, g));
+  Result<la::Matrix> left = la::SolveRidged(gtg, gtmg, ridge);
+  if (!left.ok()) return left.status();
+  // Right inverse: solve (GᵀG) Xᵀ = leftᵀ, i.e. X = left (GᵀG)⁻¹.
+  Result<la::Matrix> right =
+      la::SolveRidged(gtg, left.value().Transposed(), ridge);
+  if (!right.ok()) return right.status();
+  return right.value().Transposed();
+}
+
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double lambda, const la::Matrix* laplacian_pos,
+                           const la::Matrix* laplacian_neg, double eps,
+                           la::Matrix* g) {
+  // A = ½ (M G Sᵀ + Mᵀ G S).
+  la::Matrix mg = la::Multiply(m, *g);                  // n x c
+  la::Matrix mtg = la::MultiplyTN(m, *g);               // n x c
+  la::Matrix a = la::MultiplyNT(mg, s);                 // (M G) Sᵀ
+  a.Add(la::Multiply(mtg, s));                          // + (Mᵀ G) S
+  a.Scale(0.5);
+
+  // B = ½ (Sᵀ GᵀG S + S GᵀG Sᵀ).
+  la::Matrix gtg = la::Gram(*g);
+  la::Matrix gtgs = la::Multiply(gtg, s);               // GᵀG S
+  la::Matrix b = la::MultiplyTN(s, gtgs);               // Sᵀ GᵀG S
+  la::Matrix gtgst = la::MultiplyNT(gtg, s);            // GᵀG Sᵀ
+  b.Add(la::Multiply(s, gtgst));                        // + S GᵀG Sᵀ
+  b.Scale(0.5);
+
+  la::Matrix num = la::PositivePart(a);
+  num.Add(la::Multiply(*g, la::NegativePart(b)));
+  la::Matrix den = la::NegativePart(a);
+  den.Add(la::Multiply(*g, la::PositivePart(b)));
+
+  if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
+    la::Matrix lg_neg = la::Multiply(*laplacian_neg, *g);
+    lg_neg.Scale(lambda);
+    num.Add(lg_neg);
+    la::Matrix lg_pos = la::Multiply(*laplacian_pos, *g);
+    lg_pos.Scale(lambda);
+    den.Add(lg_pos);
+  }
+  RatioUpdate(num, den, eps, g);
+}
+
+void RatioUpdate(const la::Matrix& num, const la::Matrix& den, double eps,
+                 la::Matrix* g) {
+  RHCHME_CHECK(num.SameShape(den) && num.SameShape(*g),
+               "RatioUpdate: shape mismatch");
+  const double* pn = num.data();
+  const double* pd = den.data();
+  double* pg = g->data();
+  for (std::size_t i = 0; i < g->size(); ++i) {
+    const double n = pn[i] > 0.0 ? pn[i] : 0.0;  // Guard tiny negatives.
+    pg[i] *= std::sqrt(n / (pd[i] + eps));
+  }
+}
+
+void NormalizeMembershipRows(const BlockStructure& blocks, la::Matrix* g) {
+  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+    const std::size_t c0 = blocks.cluster_offset[k];
+    const std::size_t c1 = blocks.cluster_offset[k + 1];
+    for (std::size_t i = blocks.type_offset[k]; i < blocks.type_offset[k + 1];
+         ++i) {
+      double s = 0.0;
+      for (std::size_t j = c0; j < c1; ++j) s += std::fabs((*g)(i, j));
+      if (s > 0.0) {
+        const double inv = 1.0 / s;
+        for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) *= inv;
+      } else {
+        const double u = 1.0 / static_cast<double>(c1 - c0);
+        for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) = u;
+      }
+    }
+  }
+}
+
+double ReconstructionError(const la::Matrix& m, const la::Matrix& g,
+                           const la::Matrix& s) {
+  la::Matrix gs = la::Multiply(g, s);
+  la::Matrix approx = la::MultiplyNT(gs, g);
+  approx.Sub(m);
+  return approx.FrobeniusNormSquared();
+}
+
+std::vector<std::vector<std::size_t>> ExtractLabels(
+    const BlockStructure& blocks, const la::Matrix& g) {
+  std::vector<std::vector<std::size_t>> labels;
+  labels.reserve(blocks.num_types());
+  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+    labels.push_back(cluster::HardAssignments(
+        g, blocks.type_offset[k], blocks.type_offset[k + 1],
+        blocks.cluster_offset[k], blocks.cluster_offset[k + 1]));
+  }
+  return labels;
+}
+
+}  // namespace fact
+}  // namespace rhchme

@@ -1,0 +1,107 @@
+// Shared machinery for NMTF-based HOCC solvers.
+//
+// RHCHME and the SRC/SNMTF/RMC baselines all decompose the joint inter-type
+// matrix R ≈ G·S·Gᵀ with block-diagonal G and zero-diagonal-block S (paper
+// §I.A / Eq. 1). This module holds the block-structure bookkeeping, the
+// closed-form central-factor update (Eq. 18), the multiplicative ±-split
+// G update (Eq. 21) and the shared result type.
+
+#ifndef RHCHME_FACTORIZATION_HOCC_COMMON_H_
+#define RHCHME_FACTORIZATION_HOCC_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/multitype_data.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace fact {
+
+/// Row/column offsets describing the block layout of the joint matrices.
+struct BlockStructure {
+  std::vector<std::size_t> type_offset;     ///< Row offset per type (+ n).
+  std::vector<std::size_t> cluster_offset;  ///< Column offset per type (+ c).
+
+  std::size_t num_types() const { return type_offset.size() - 1; }
+  std::size_t total_objects() const { return type_offset.back(); }
+  std::size_t total_clusters() const { return cluster_offset.back(); }
+  std::size_t objects(std::size_t k) const {
+    return type_offset[k + 1] - type_offset[k];
+  }
+  std::size_t clusters(std::size_t k) const {
+    return cluster_offset[k + 1] - cluster_offset[k];
+  }
+};
+
+/// Derives the block layout from the data's type/cluster counts.
+BlockStructure BuildBlockStructure(const data::MultiTypeRelationalData& data);
+
+/// How to initialise the membership matrix G (paper §III.D: either works;
+/// k-means is Algorithm 2's default).
+enum class MembershipInit { kKMeans, kRandom };
+
+/// Block-diagonal initial G: type k's block is filled by k-means on the
+/// type's features (or randomly), rows L1-normalised, never exactly zero
+/// inside the block (multiplicative updates cannot leave zeros).
+Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
+                                  const BlockStructure& blocks,
+                                  MembershipInit init, Rng* rng);
+
+/// Closed-form S given G (paper Eq. 18): S = P·Gᵀ·M·G·P with
+/// P = (GᵀG + ridge·I)⁻¹. `m` is R (or R - E_R for the robust variant).
+Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
+                                 double ridge = 1e-9);
+
+/// One multiplicative update of G (paper Eq. 21) for the objective
+///   ‖M − G·S·Gᵀ‖²_F + lambda·tr(Gᵀ·L·G):
+///   G ← G ∘ sqrt( (lambda·L⁻·G + A⁺ + G·B⁻) / (lambda·L⁺·G + A⁻ + G·B⁺) )
+/// with the symmetrised gradient halves A = ½(M·G·Sᵀ + Mᵀ·G·S) and
+/// B = ½(Sᵀ·GᵀG·S + S·GᵀG·Sᵀ), which reduce to the paper's A = M·G·Sᵀ,
+/// B = Sᵀ·GᵀG·S when M and S are symmetric (DESIGN.md §5).
+///
+/// `laplacian_pos`/`laplacian_neg` are the precomputed ± parts of L; pass
+/// nullptr (with lambda = 0) when there is no manifold regulariser.
+/// `eps` floors the denominator. Zero entries of G stay zero, so the
+/// block-diagonal structure is preserved.
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double lambda, const la::Matrix* laplacian_pos,
+                           const la::Matrix* laplacian_neg, double eps,
+                           la::Matrix* g);
+
+/// G ∘= sqrt(num/(den+eps)) — the bare ratio update (used by DRCC, whose
+/// factor matrices are not symmetric).
+void RatioUpdate(const la::Matrix& num, const la::Matrix& den, double eps,
+                 la::Matrix* g);
+
+/// Row-wise L1 normalisation applied block-by-block: each row of type k is
+/// normalised within its own cluster columns (paper Eq. 22; all-zero rows
+/// become uniform over the block).
+void NormalizeMembershipRows(const BlockStructure& blocks, la::Matrix* g);
+
+/// Reconstruction ‖M − G·S·Gᵀ‖²_F.
+double ReconstructionError(const la::Matrix& m, const la::Matrix& g,
+                           const la::Matrix& s);
+
+/// Shared outcome of a HOCC solver.
+struct HoccResult {
+  la::Matrix g;                         ///< Joint n x c membership matrix.
+  la::Matrix s;                         ///< Joint c x c association matrix.
+  /// Hard labels per type (labels[k][i] in [0, c_k)).
+  std::vector<std::vector<std::size_t>> labels;
+  std::vector<double> objective_trace;  ///< Objective after each iteration.
+  int iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;                 ///< Wall-clock fit time.
+};
+
+/// Extracts hard per-type labels from the joint G.
+std::vector<std::vector<std::size_t>> ExtractLabels(
+    const BlockStructure& blocks, const la::Matrix& g);
+
+}  // namespace fact
+}  // namespace rhchme
+
+#endif  // RHCHME_FACTORIZATION_HOCC_COMMON_H_

@@ -1,0 +1,156 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace rhchme {
+namespace graph {
+
+const char* WeightSchemeName(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kBinary: return "binary";
+    case WeightScheme::kHeatKernel: return "heat";
+    case WeightScheme::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+Status KnnGraphOptions::Validate() const {
+  if (p == 0) return Status::InvalidArgument("pNN graph needs p >= 1");
+  return Status::OK();
+}
+
+la::Matrix PairwiseSquaredDistances(const la::Matrix& points) {
+  const std::size_t n = points.rows(), d = points.cols();
+  std::vector<double> sq(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* r = points.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
+    sq[i] = s;
+  }
+  la::Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = points.row_ptr(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double* rj = points.row_ptr(j);
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+      // max() guards the tiny negatives produced by cancellation.
+      double v = std::max(0.0, sq[i] + sq[j] - 2.0 * dot);
+      dist(i, j) = v;
+      dist(j, i) = v;
+    }
+  }
+  return dist;
+}
+
+la::Matrix PairwiseCosine(const la::Matrix& points) {
+  const std::size_t n = points.rows(), d = points.cols();
+  std::vector<double> norm(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* r = points.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
+    norm[i] = std::sqrt(s);
+  }
+  la::Matrix cos(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (norm[i] == 0.0) continue;
+    const double* ri = points.row_ptr(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (norm[j] == 0.0) continue;
+      const double* rj = points.row_ptr(j);
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+      double v = dot / (norm[i] * norm[j]);
+      if (v < 0.0) v = 0.0;
+      cos(i, j) = v;
+      cos(j, i) = v;
+    }
+  }
+  return cos;
+}
+
+Result<la::SparseMatrix> BuildKnnGraph(const la::Matrix& points,
+                                       const KnnGraphOptions& opts) {
+  RHCHME_RETURN_IF_ERROR(opts.Validate());
+  const std::size_t n = points.rows();
+  if (n < 2) {
+    return Status::InvalidArgument("pNN graph needs at least two points");
+  }
+  const std::size_t p = std::min(opts.p, n - 1);
+
+  la::Matrix dist = PairwiseSquaredDistances(points);
+
+  // Neighbour lists: partial-sort the p closest of each row.
+  std::vector<std::vector<std::size_t>> nbrs(n);
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < n; ++i) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(p - 1),
+                     order.end(), [&](std::size_t a, std::size_t b) {
+                       return dist(i, a) < dist(i, b);
+                     });
+    nbrs[i].assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(p));
+  }
+
+  // Directed adjacency flags for the symmetrisation rule of Eq. 3.
+  auto is_neighbour = [&](std::size_t i, std::size_t j) {
+    return std::find(nbrs[i].begin(), nbrs[i].end(), j) != nbrs[i].end();
+  };
+
+  // Auto bandwidth: mean squared distance over all directed edges.
+  double sigma = opts.heat_sigma;
+  if (opts.scheme == WeightScheme::kHeatKernel && sigma <= 0.0) {
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j : nbrs[i]) {
+        acc += dist(i, j);
+        ++cnt;
+      }
+    }
+    sigma = cnt > 0 ? std::max(acc / static_cast<double>(cnt), 1e-12) : 1.0;
+  }
+
+  la::Matrix cos;  // Only needed for the cosine scheme.
+  if (opts.scheme == WeightScheme::kCosine) cos = PairwiseCosine(points);
+
+  auto weight = [&](std::size_t i, std::size_t j) -> double {
+    switch (opts.scheme) {
+      case WeightScheme::kBinary:
+        return 1.0;
+      case WeightScheme::kHeatKernel:
+        return std::exp(-dist(i, j) / sigma);
+      case WeightScheme::kCosine:
+        return cos(i, j);
+    }
+    return 0.0;
+  };
+
+  std::vector<la::Triplet> trips;
+  trips.reserve(2 * n * p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j : nbrs[i]) {
+      bool keep = opts.mutual ? is_neighbour(j, i) : true;
+      if (!keep) continue;
+      double w = weight(i, j);
+      if (w <= 0.0) continue;
+      // Insert both directions; FromTriplets sums duplicates, so halve
+      // edges that both endpoints list.
+      bool both = is_neighbour(j, i);
+      double v = both ? 0.5 * w : w;
+      trips.push_back({i, j, v});
+      trips.push_back({j, i, v});
+    }
+  }
+  return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
+}  // namespace graph
+}  // namespace rhchme

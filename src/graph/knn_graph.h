@@ -1,0 +1,60 @@
+// p-nearest-neighbour affinity graphs (paper Eq. 3).
+//
+// Existing HOCC methods estimate intra-type relationships W_E from a pNN
+// graph over each type's feature vectors; RHCHME keeps one small-p cosine
+// pNN graph as the "local" member of its heterogeneous ensemble, and the
+// RMC baseline uses six of them (p ∈ {5,10} × three weighting schemes).
+
+#ifndef RHCHME_GRAPH_KNN_GRAPH_H_
+#define RHCHME_GRAPH_KNN_GRAPH_H_
+
+#include "la/matrix.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace graph {
+
+/// Edge weighting for the pNN graph (paper §II.A lists all three).
+enum class WeightScheme {
+  kBinary,      ///< w_ij = 1 when a neighbour edge exists.
+  kHeatKernel,  ///< w_ij = exp(-||x_i - x_j||² / sigma).
+  kCosine,      ///< w_ij = <x_i, x_j> / (||x_i|| ||x_j||), floored at 0.
+};
+
+const char* WeightSchemeName(WeightScheme scheme);
+
+struct KnnGraphOptions {
+  /// Neighbour count p. The paper uses p = 5 for SNMTF/RHCHME and
+  /// p ∈ {5, 10} for the RMC candidates.
+  std::size_t p = 5;
+  WeightScheme scheme = WeightScheme::kCosine;
+  /// Heat-kernel bandwidth sigma; <= 0 selects the mean squared
+  /// neighbour distance automatically.
+  double heat_sigma = -1.0;
+  /// Eq. 3 keeps an edge when either endpoint lists the other (union
+  /// symmetrisation). Set to true for the stricter mutual-kNN variant.
+  bool mutual = false;
+
+  /// InvalidArgument when p == 0.
+  Status Validate() const;
+};
+
+/// Builds the symmetric pNN affinity matrix for `points` (one object per
+/// row). The diagonal is zero; the result has at most 2·n·p nonzeros.
+/// Requires points.rows() >= 2 and p < points.rows().
+Result<la::SparseMatrix> BuildKnnGraph(const la::Matrix& points,
+                                       const KnnGraphOptions& opts);
+
+/// Pairwise squared Euclidean distances between rows of `points`
+/// (exposed for tests and for the subspace demo).
+la::Matrix PairwiseSquaredDistances(const la::Matrix& points);
+
+/// Pairwise cosine similarities between rows, floored at zero so the
+/// affinity stays nonnegative. Zero rows get zero similarity.
+la::Matrix PairwiseCosine(const la::Matrix& points);
+
+}  // namespace graph
+}  // namespace rhchme
+
+#endif  // RHCHME_GRAPH_KNN_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+namespace rhchme {
+namespace graph {
+namespace {
+
+/// Shared core: builds L from a dense affinity already materialised.
+la::Matrix LaplacianFromDense(const la::Matrix& w, LaplacianKind kind) {
+  const std::size_t n = w.rows();
+  std::vector<double> deg = w.RowSums();
+  la::Matrix l(n, n);
+  switch (kind) {
+    case LaplacianKind::kUnnormalized: {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) l(i, j) = -w(i, j);
+        l(i, i) += deg[i];
+      }
+      break;
+    }
+    case LaplacianKind::kSymmetric: {
+      std::vector<double> inv_sqrt(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          l(i, j) = -inv_sqrt[i] * w(i, j) * inv_sqrt[j];
+        }
+        l(i, i) += deg[i] > 0.0 ? 1.0 : 0.0;
+      }
+      break;
+    }
+    case LaplacianKind::kRandomWalk: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double inv = deg[i] > 0.0 ? 1.0 / deg[i] : 0.0;
+        for (std::size_t j = 0; j < n; ++j) l(i, j) = -inv * w(i, j);
+        l(i, i) += deg[i] > 0.0 ? 1.0 : 0.0;
+      }
+      break;
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+const char* LaplacianKindName(LaplacianKind kind) {
+  switch (kind) {
+    case LaplacianKind::kUnnormalized: return "unnormalized";
+    case LaplacianKind::kSymmetric: return "symmetric";
+    case LaplacianKind::kRandomWalk: return "random-walk";
+  }
+  return "?";
+}
+
+std::vector<double> DegreeVector(const la::SparseMatrix& affinity) {
+  return affinity.RowSums();
+}
+
+std::vector<double> DegreeVector(const la::Matrix& affinity) {
+  return affinity.RowSums();
+}
+
+Result<la::Matrix> BuildLaplacian(const la::SparseMatrix& affinity,
+                                  LaplacianKind kind) {
+  if (affinity.rows() != affinity.cols()) {
+    return Status::InvalidArgument("Laplacian: affinity must be square");
+  }
+  return LaplacianFromDense(affinity.ToDense(), kind);
+}
+
+Result<la::Matrix> BuildLaplacian(const la::Matrix& affinity,
+                                  LaplacianKind kind) {
+  if (affinity.rows() != affinity.cols()) {
+    return Status::InvalidArgument("Laplacian: affinity must be square");
+  }
+  return LaplacianFromDense(affinity, kind);
+}
+
+}  // namespace graph
+}  // namespace rhchme

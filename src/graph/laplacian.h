@@ -1,0 +1,45 @@
+// Graph Laplacians.
+//
+// The manifold regulariser tr(Gᵀ L G) (paper Eq. 1/15) smooths cluster
+// labels over an affinity graph. The paper writes L = D − W and calls it
+// normalised; we provide the unnormalised, symmetric-normalised and
+// random-walk variants explicitly (DESIGN.md §5.3) — the symmetric form is
+// the library default.
+
+#ifndef RHCHME_GRAPH_LAPLACIAN_H_
+#define RHCHME_GRAPH_LAPLACIAN_H_
+
+#include "la/matrix.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace graph {
+
+enum class LaplacianKind {
+  kUnnormalized,  ///< L = D - W
+  kSymmetric,     ///< L = I - D^{-1/2} W D^{-1/2}
+  kRandomWalk,    ///< L = I - D^{-1} W
+};
+
+const char* LaplacianKindName(LaplacianKind kind);
+
+/// Degree vector d_i = sum_j W_ij of an affinity matrix.
+std::vector<double> DegreeVector(const la::SparseMatrix& affinity);
+std::vector<double> DegreeVector(const la::Matrix& affinity);
+
+/// Dense Laplacian of a sparse affinity matrix. Isolated vertices (zero
+/// degree) contribute L_ii = 0 in normalised variants (their D^{-1/2} is
+/// treated as 0, the spectral-clustering convention).
+/// Requires a square affinity matrix.
+Result<la::Matrix> BuildLaplacian(const la::SparseMatrix& affinity,
+                                  LaplacianKind kind);
+
+/// Dense-affinity overload (subspace affinities W^S are dense).
+Result<la::Matrix> BuildLaplacian(const la::Matrix& affinity,
+                                  LaplacianKind kind);
+
+}  // namespace graph
+}  // namespace rhchme
+
+#endif  // RHCHME_GRAPH_LAPLACIAN_H_

@@ -1,0 +1,103 @@
+#include "io/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/matrix_io.h"
+
+namespace rhchme {
+namespace io {
+namespace fs = std::filesystem;
+
+Status SaveDataset(const data::MultiTypeRelationalData& data,
+                   const std::string& dir) {
+  RHCHME_RETURN_IF_ERROR(data.Validate());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::InvalidArgument("cannot create directory: " + dir);
+
+  std::ofstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest) {
+    return Status::InvalidArgument("cannot write manifest in: " + dir);
+  }
+  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
+    const data::ObjectType& t = data.Type(k);
+    // Names with spaces would break the manifest tokenizer.
+    if (t.name.find_first_of(" \t\n") != std::string::npos) {
+      return Status::InvalidArgument("type name contains whitespace: '" +
+                                     t.name + "'");
+    }
+    manifest << t.name << ' ' << t.count << ' ' << t.clusters << '\n';
+    const std::string stem =
+        (fs::path(dir) / ("type" + std::to_string(k))).string();
+    if (!t.features.empty()) {
+      RHCHME_RETURN_IF_ERROR(
+          WriteMatrixBinary(t.features, stem + "_features.bin"));
+    }
+    if (!t.labels.empty()) {
+      RHCHME_RETURN_IF_ERROR(WriteLabels(t.labels, stem + "_labels.txt"));
+    }
+  }
+  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
+    for (std::size_t l = k + 1; l < data.NumTypes(); ++l) {
+      if (!data.HasRelation(k, l)) continue;
+      const std::string path =
+          (fs::path(dir) / ("relation_" + std::to_string(k) + "_" +
+                            std::to_string(l) + ".bin"))
+              .string();
+      RHCHME_RETURN_IF_ERROR(WriteMatrixBinary(data.Relation(k, l), path));
+    }
+  }
+  return Status::OK();
+}
+
+Result<data::MultiTypeRelationalData> LoadDataset(const std::string& dir) {
+  std::ifstream manifest(fs::path(dir) / "manifest.txt");
+  if (!manifest) return Status::NotFound("no manifest in: " + dir);
+
+  data::MultiTypeRelationalData data;
+  std::string line;
+  std::size_t k = 0;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    data::ObjectType type;
+    if (!(ss >> type.name >> type.count >> type.clusters)) {
+      return Status::InvalidArgument("malformed manifest line: " + line);
+    }
+    const std::string stem =
+        (fs::path(dir) / ("type" + std::to_string(k))).string();
+    if (fs::exists(stem + "_features.bin")) {
+      Result<la::Matrix> features = ReadMatrixBinary(stem + "_features.bin");
+      if (!features.ok()) return features.status();
+      type.features = std::move(features).value();
+    }
+    if (fs::exists(stem + "_labels.txt")) {
+      Result<std::vector<std::size_t>> labels =
+          ReadLabels(stem + "_labels.txt");
+      if (!labels.ok()) return labels.status();
+      type.labels = std::move(labels).value();
+    }
+    data.AddType(std::move(type));
+    ++k;
+  }
+  for (std::size_t a = 0; a < data.NumTypes(); ++a) {
+    for (std::size_t b = a + 1; b < data.NumTypes(); ++b) {
+      const std::string path =
+          (fs::path(dir) / ("relation_" + std::to_string(a) + "_" +
+                            std::to_string(b) + ".bin"))
+              .string();
+      if (!fs::exists(path)) continue;
+      Result<la::Matrix> block = ReadMatrixBinary(path);
+      if (!block.ok()) return block.status();
+      RHCHME_RETURN_IF_ERROR(
+          data.SetRelation(a, b, std::move(block).value()));
+    }
+  }
+  RHCHME_RETURN_IF_ERROR(data.Validate());
+  return data;
+}
+
+}  // namespace io
+}  // namespace rhchme

@@ -1,0 +1,32 @@
+// Directory-based persistence for MultiTypeRelationalData.
+//
+// Layout (all inside one directory):
+//   manifest.txt                    one line per type: "name count clusters"
+//   type<k>_features.bin            optional feature matrix
+//   type<k>_labels.txt              optional ground truth
+//   relation_<k>_<l>.bin            one per stored pair (k < l)
+//
+// Used by the CLI to hand corpora between `generate` and `run` steps.
+
+#ifndef RHCHME_IO_DATASET_IO_H_
+#define RHCHME_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "data/multitype_data.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace io {
+
+/// Writes `data` into `dir` (created if missing).
+Status SaveDataset(const data::MultiTypeRelationalData& data,
+                   const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+Result<data::MultiTypeRelationalData> LoadDataset(const std::string& dir);
+
+}  // namespace io
+}  // namespace rhchme
+
+#endif  // RHCHME_IO_DATASET_IO_H_

@@ -1,0 +1,127 @@
+#include "io/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rhchme {
+namespace io {
+namespace {
+constexpr char kMagic[4] = {'R', 'H', 'M', '1'};
+}  // namespace
+
+Status WriteMatrixCsv(const la::Matrix& m, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  f.precision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      f << m(i, j);
+      if (j + 1 < m.cols()) f << ',';
+    }
+    f << '\n';
+  }
+  return f ? Status::OK()
+           : Status::Internal("write failed for: " + path);
+}
+
+Result<la::Matrix> ReadMatrixCsv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        std::size_t used = 0;
+        row.push_back(std::stod(cell, &used));
+        // Trailing junk after the number (e.g. "1.5abc") is an error.
+        while (used < cell.size() &&
+               (cell[used] == ' ' || cell[used] == '\r')) {
+          ++used;
+        }
+        if (used != cell.size()) throw std::invalid_argument(cell);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("non-numeric cell '" + cell +
+                                       "' at line " +
+                                       std::to_string(lineno) + " of " +
+                                       path);
+      }
+    }
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument("ragged row at line " +
+                                     std::to_string(lineno) + " of " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + path);
+  return la::Matrix::FromRows(rows);
+}
+
+Status WriteMatrixBinary(const la::Matrix& m, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  const uint64_t rows = m.rows(), cols = m.cols();
+  f.write(kMagic, sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  f.write(reinterpret_cast<const char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  return f ? Status::OK() : Status::Internal("write failed for: " + path);
+}
+
+Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in: " + path);
+  }
+  uint64_t rows = 0, cols = 0;
+  f.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  f.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!f || rows * cols > (1ull << 32)) {
+    return Status::InvalidArgument("implausible shape in: " + path);
+  }
+  la::Matrix m(rows, cols);
+  f.read(reinterpret_cast<char*>(m.data()),
+         static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!f) return Status::InvalidArgument("truncated matrix in: " + path);
+  return m;
+}
+
+Status WriteLabels(const std::vector<std::size_t>& labels,
+                   const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  for (std::size_t v : labels) f << v << '\n';
+  return f ? Status::OK() : Status::Internal("write failed for: " + path);
+}
+
+Result<std::vector<std::size_t>> ReadLabels(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::vector<std::size_t> labels;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    try {
+      labels.push_back(std::stoul(line));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("non-integer label '" + line + "' in " +
+                                     path);
+    }
+  }
+  return labels;
+}
+
+}  // namespace io
+}  // namespace rhchme

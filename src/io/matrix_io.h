@@ -1,0 +1,39 @@
+// Matrix and label persistence (CSV text + a compact binary format).
+//
+// The CLI tool and the dataset loader use these to move data in and out of
+// the library; CSV is for interoperability (numpy/pandas/R), the binary
+// format for exact round-trips of large blocks.
+
+#ifndef RHCHME_IO_MATRIX_IO_H_
+#define RHCHME_IO_MATRIX_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace io {
+
+/// Writes `m` as plain CSV (no header). Overwrites `path`.
+Status WriteMatrixCsv(const la::Matrix& m, const std::string& path);
+
+/// Reads a numeric CSV with uniform row lengths. Empty lines are skipped;
+/// a leading non-numeric header row is rejected with InvalidArgument.
+Result<la::Matrix> ReadMatrixCsv(const std::string& path);
+
+/// Binary round-trip format: magic "RHM1", uint64 rows/cols, row-major
+/// doubles (host endianness — intended for local caching, not exchange).
+Status WriteMatrixBinary(const la::Matrix& m, const std::string& path);
+Result<la::Matrix> ReadMatrixBinary(const std::string& path);
+
+/// One label per line.
+Status WriteLabels(const std::vector<std::size_t>& labels,
+                   const std::string& path);
+Result<std::vector<std::size_t>> ReadLabels(const std::string& path);
+
+}  // namespace io
+}  // namespace rhchme
+
+#endif  // RHCHME_IO_MATRIX_IO_H_

@@ -1,0 +1,47 @@
+// Symmetric eigensolver (cyclic Jacobi).
+//
+// Replaces the Spectra dependency: the library needs eigenpairs of graph
+// Laplacians for spectral diagnostics, the spectral-embedding example and
+// tests (Laplacian PSD-ness, Fiedler vectors). Jacobi is O(n³) with a small
+// constant and is numerically robust, which is sufficient for the n ≤ a few
+// thousand Laplacians in this project.
+
+#ifndef RHCHME_LA_EIGEN_SYM_H_
+#define RHCHME_LA_EIGEN_SYM_H_
+
+#include "la/matrix.h"
+
+namespace rhchme {
+namespace la {
+
+/// Eigen-decomposition A = V·diag(w)·Vᵀ of a symmetric matrix.
+struct EigenSymResult {
+  /// Eigenvalues in ascending order.
+  std::vector<double> eigenvalues;
+  /// Column j of `eigenvectors` is the unit eigenvector for eigenvalues[j].
+  Matrix eigenvectors;
+};
+
+/// Options for the Jacobi sweep loop.
+struct EigenSymOptions {
+  int max_sweeps = 64;      ///< Hard cap; convergence is usually < 15 sweeps.
+  double tolerance = 1e-12; ///< Stop when off-diagonal Frobenius mass is
+                            ///< below tolerance * ||A||_F.
+};
+
+/// Full eigen-decomposition of symmetric `a`. Symmetry is enforced by
+/// averaging (A+Aᵀ)/2; returns InvalidArgument for non-square input and
+/// NotConverged if the sweep cap is hit (pairs computed so far returned
+/// in the error-free case only).
+Result<EigenSymResult> EigenSym(const Matrix& a,
+                                const EigenSymOptions& opts = {});
+
+/// The k smallest eigenpairs (e.g. the spectral embedding of a Laplacian).
+/// Computes the full decomposition and slices it.
+Result<EigenSymResult> EigenSymSmallest(const Matrix& a, std::size_t k,
+                                        const EigenSymOptions& opts = {});
+
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_EIGEN_SYM_H_

@@ -1,0 +1,128 @@
+#include "la/gemm.h"
+
+namespace rhchme {
+namespace la {
+
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  RHCHME_CHECK(a.cols() == b.rows(), "Multiply: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c->Resize(m, n);
+  // ikj order: the inner loop is a contiguous axpy over B's and C's rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c->row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    for (std::size_t l = 0; l < k; ++l) {
+      const double ail = ai[l];
+      if (ail == 0.0) continue;
+      const double* bl = b.row_ptr(l);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MultiplyInto(a, b, &c);
+  return c;
+}
+
+void MultiplyTNInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  RHCHME_CHECK(a.rows() == b.rows(), "MultiplyTN: inner dims mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  c->Resize(m, n);
+  // l outer: stream over rows of A and B once, scatter-accumulate into C.
+  for (std::size_t l = 0; l < k; ++l) {
+    const double* al = a.row_ptr(l);
+    const double* bl = b.row_ptr(l);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ali = al[i];
+      if (ali == 0.0) continue;
+      double* ci = c->row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ali * bl[j];
+    }
+  }
+}
+
+Matrix MultiplyTN(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MultiplyTNInto(a, b, &c);
+  return c;
+}
+
+void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  RHCHME_CHECK(a.cols() == b.cols(), "MultiplyNT: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c->Resize(m, n);
+  // C(i,j) is a dot product of two contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.row_ptr(i);
+    double* ci = c->row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      ci[j] = acc;
+    }
+  }
+}
+
+Matrix MultiplyNT(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MultiplyNTInto(a, b, &c);
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  const std::size_t k = a.rows(), n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t l = 0; l < k; ++l) {
+    const double* al = a.row_ptr(l);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ali = al[i];
+      if (ali == 0.0) continue;
+      double* gi = g.row_ptr(i);
+      for (std::size_t j = i; j < n; ++j) gi[j] += ali * al[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x) {
+  RHCHME_CHECK(a.cols() == x.size(), "MultiplyVec: dims mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> MultiplyTVec(const Matrix& a,
+                                 const std::vector<double>& x) {
+  RHCHME_CHECK(a.rows() == x.size(), "MultiplyTVec: dims mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_ptr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ai[j];
+  }
+  return y;
+}
+
+double FrobeniusInner(const Matrix& a, const Matrix& b) {
+  RHCHME_CHECK(a.SameShape(b), "FrobeniusInner: shape mismatch");
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,52 @@
+// Dense matrix-multiplication kernels.
+//
+// Every solver inner loop in the library funnels through these four
+// products, so they use cache-friendly loop orders (ikj / dot-row forms)
+// that auto-vectorise well with -O2 on a single core. Shapes are checked;
+// `*Into` variants reuse the caller's output buffer.
+
+#ifndef RHCHME_LA_GEMM_H_
+#define RHCHME_LA_GEMM_H_
+
+#include "la/matrix.h"
+
+namespace rhchme {
+namespace la {
+
+/// C = A * B. Requires a.cols() == b.rows().
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B. Requires a.rows() == b.rows().
+Matrix MultiplyTN(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ. Requires a.cols() == b.cols().
+Matrix MultiplyNT(const Matrix& a, const Matrix& b);
+
+/// Writes A * B into `c` (resized as needed).
+void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Writes Aᵀ * B into `c` (resized as needed).
+void MultiplyTNInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Writes A * Bᵀ into `c` (resized as needed).
+void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Gram matrix AᵀA (symmetric; computes the upper triangle and mirrors).
+Matrix Gram(const Matrix& a);
+
+/// y = A * x. Requires a.cols() == x.size().
+std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x);
+
+/// y = Aᵀ * x. Requires a.rows() == x.size().
+std::vector<double> MultiplyTVec(const Matrix& a,
+                                 const std::vector<double>& x);
+
+/// tr(Aᵀ B) = sum of the entrywise product — the Frobenius inner product.
+/// Cheaper than forming the product when only the trace is needed
+/// (used for tr(Gᵀ L G) bookkeeping).
+double FrobeniusInner(const Matrix& a, const Matrix& b);
+
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_GEMM_H_

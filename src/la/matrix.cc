@@ -1,0 +1,348 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rhchme {
+namespace la {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RHCHME_CHECK(rows[i].size() == rows[0].size(), "ragged row lengths");
+    std::copy(rows[i].begin(), rows[i].end(), m.row_ptr(i));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const std::vector<double>& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::RandomUniform(std::size_t rows, std::size_t cols, Rng* rng,
+                             double lo, double hi) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(std::size_t rows, std::size_t cols, Rng* rng,
+                            double mean, double stddev) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Normal(mean, stddev);
+  return m;
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  // Blocked transpose keeps both source row and destination row in cache.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t ib = 0; ib < rows_; ib += kBlock) {
+    std::size_t imax = std::min(rows_, ib + kBlock);
+    for (std::size_t jb = 0; jb < cols_; jb += kBlock) {
+      std::size_t jmax = std::min(cols_, jb + kBlock);
+      for (std::size_t i = ib; i < imax; ++i) {
+        for (std::size_t j = jb; j < jmax; ++j) {
+          t(j, i) = (*this)(i, j);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  RHCHME_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_, "block out of range");
+  Matrix b(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double* src = row_ptr(r0 + i) + c0;
+    std::copy(src, src + nc, b.row_ptr(i));
+  }
+  return b;
+}
+
+void Matrix::SetBlock(std::size_t r0, std::size_t c0, const Matrix& src) {
+  RHCHME_CHECK(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_,
+               "block out of range");
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    std::copy(src.row_ptr(i), src.row_ptr(i) + src.cols(),
+              row_ptr(r0 + i) + c0);
+  }
+}
+
+std::vector<double> Matrix::Row(std::size_t i) const {
+  RHCHME_CHECK(i < rows_, "row out of range");
+  return std::vector<double>(row_ptr(i), row_ptr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(std::size_t j) const {
+  RHCHME_CHECK(j < cols_, "col out of range");
+  std::vector<double> c(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) c[i] = (*this)(i, j);
+  return c;
+}
+
+void Matrix::Add(const Matrix& other) {
+  RHCHME_CHECK(SameShape(other), "Add: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  RHCHME_CHECK(SameShape(other), "Sub: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Matrix::AddScaled(const Matrix& other, double s) {
+  RHCHME_CHECK(SameShape(other), "AddScaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  RHCHME_CHECK(SameShape(other), "Hadamard: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Apply(const std::function<double(double)>& f) {
+  for (double& v : data_) v = f(v);
+}
+
+void Matrix::ClampNonNegative() {
+  for (double& v : data_) v = v < 0.0 ? 0.0 : v;
+}
+
+double Matrix::FrobeniusNormSquared() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  return std::sqrt(FrobeniusNormSquared());
+}
+
+double Matrix::L1Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += std::fabs(v);
+  return s;
+}
+
+double Matrix::L21Norm() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += r[j] * r[j];
+    total += std::sqrt(s);
+  }
+  return total;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::Min() const {
+  double m = data_.empty() ? 0.0 : data_[0];
+  for (double v : data_) m = std::min(m, v);
+  return m;
+}
+
+double Matrix::Max() const {
+  double m = data_.empty() ? 0.0 : data_[0];
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+std::vector<double> Matrix::RowSums() const {
+  std::vector<double> s(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j];
+    s[i] = acc;
+  }
+  return s;
+}
+
+std::vector<double> Matrix::ColSums() const {
+  std::vector<double> s(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) s[j] += r[j];
+  }
+  return s;
+}
+
+double Matrix::Trace() const {
+  RHCHME_CHECK(rows_ == cols_, "Trace: matrix must be square");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsNonNegative(double tol) const {
+  for (double v : data_) {
+    if (v < -tol) return false;
+  }
+  return true;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  RHCHME_CHECK(SameShape(other), "MaxAbsDiff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+void Matrix::ScaleRows(const std::vector<double>& d) {
+  RHCHME_CHECK(d.size() == rows_, "ScaleRows: size mismatch");
+  constexpr double kEps = 1e-300;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (std::fabs(d[i]) < kEps) continue;
+    double inv = 1.0 / d[i];
+    double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
+  }
+}
+
+void Matrix::ScaleCols(const std::vector<double>& d) {
+  RHCHME_CHECK(d.size() == cols_, "ScaleCols: size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) r[j] *= d[j];
+  }
+}
+
+void Matrix::NormalizeRowsL1(std::size_t c0, std::size_t c1) {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += std::fabs(r[j]);
+    if (s > 0.0) {
+      double inv = 1.0 / s;
+      for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
+    } else if (c1 > c0) {
+      double u = 1.0 / static_cast<double>(c1 - c0);
+      for (std::size_t j = c0; j < c1; ++j) r[j] = u;
+    }
+  }
+}
+
+std::string Matrix::DebugString(std::size_t max_rows,
+                                std::size_t max_cols) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Matrix %zux%zu\n", rows_, cols_);
+  std::string out = buf;
+  for (std::size_t i = 0; i < std::min(rows_, max_rows); ++i) {
+    out += "  [";
+    for (std::size_t j = 0; j < std::min(cols_, max_cols); ++j) {
+      std::snprintf(buf, sizeof(buf), "%s%9.4g", j ? ", " : "", (*this)(i, j));
+      out += buf;
+    }
+    if (cols_ > max_cols) out += ", ...";
+    out += "]\n";
+  }
+  if (rows_ > max_rows) out += "  ...\n";
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.Add(b);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.Sub(b);
+  return c;
+}
+
+Matrix Scaled(const Matrix& a, double s) {
+  Matrix c = a;
+  c.Scale(s);
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.Hadamard(b);
+  return c;
+}
+
+Matrix PositivePart(const Matrix& m) {
+  Matrix p = m;
+  p.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+  return p;
+}
+
+Matrix NegativePart(const Matrix& m) {
+  Matrix p = m;
+  p.Apply([](double v) { return v < 0.0 ? -v : 0.0; });
+  return p;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  return a.MaxAbsDiff(b);
+}
+
+Matrix HConcat(const Matrix& a, const Matrix& b) {
+  RHCHME_CHECK(a.rows() == b.rows(), "HConcat: row mismatch");
+  Matrix c(a.rows(), a.cols() + b.cols());
+  c.SetBlock(0, 0, a);
+  c.SetBlock(0, a.cols(), b);
+  return c;
+}
+
+Matrix VConcat(const Matrix& a, const Matrix& b) {
+  RHCHME_CHECK(a.cols() == b.cols(), "VConcat: column mismatch");
+  Matrix c(a.rows() + b.rows(), a.cols());
+  c.SetBlock(0, 0, a);
+  c.SetBlock(a.rows(), 0, b);
+  return c;
+}
+
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,178 @@
+// Dense row-major matrix of doubles.
+//
+// This is the workhorse type of the library. It is a concrete value type
+// (no expression templates): clusters of a few thousand objects fit easily
+// in memory and the solvers are dominated by GEMM, which lives in gemm.h.
+
+#ifndef RHCHME_LA_MATRIX_H_
+#define RHCHME_LA_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace la {
+
+/// Dense row-major matrix. Indices are 0-based; element (i,j) is
+/// `data()[i * cols() + j]`.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initialiser-style rows; all rows must agree in size.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const std::vector<double>& diag);
+
+  /// Matrix with i.i.d. Uniform[lo, hi) entries.
+  static Matrix RandomUniform(std::size_t rows, std::size_t cols, Rng* rng,
+                              double lo = 0.0, double hi = 1.0);
+
+  /// Matrix with i.i.d. standard normal entries.
+  static Matrix RandomNormal(std::size_t rows, std::size_t cols, Rng* rng,
+                             double mean = 0.0, double stddev = 1.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row_ptr(std::size_t i) const {
+    return data_.data() + i * cols_;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sets every entry to `v`.
+  void Fill(double v);
+
+  /// Resizes to rows x cols, zero-initialised (contents discarded).
+  void Resize(std::size_t rows, std::size_t cols);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Copy of rows [r0, r0+nr) x cols [c0, c0+nc).
+  Matrix Block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  /// Writes `src` into the block with top-left corner (r0, c0).
+  void SetBlock(std::size_t r0, std::size_t c0, const Matrix& src);
+
+  /// Returns row i as a vector.
+  std::vector<double> Row(std::size_t i) const;
+
+  /// Returns column j as a vector.
+  std::vector<double> Col(std::size_t j) const;
+
+  // ---- In-place elementwise operations ----------------------------------
+
+  void Add(const Matrix& other);            ///< this += other
+  void Sub(const Matrix& other);            ///< this -= other
+  void Scale(double s);                     ///< this *= s
+  void AddScaled(const Matrix& other, double s);  ///< this += s * other
+  void Hadamard(const Matrix& other);       ///< this ∘= other
+  void Apply(const std::function<double(double)>& f);  ///< entrywise map
+
+  /// Clamps negatives to zero (projection onto the nonnegative orthant).
+  void ClampNonNegative();
+
+  // ---- Reductions --------------------------------------------------------
+
+  double FrobeniusNorm() const;             ///< sqrt(sum of squares)
+  double FrobeniusNormSquared() const;
+  double L1Norm() const;                    ///< sum of |entries|
+  /// L2,1 norm: sum over rows of the row's Euclidean norm (paper Eq. 14).
+  double L21Norm() const;
+  double Sum() const;
+  double MaxAbs() const;
+  double Min() const;
+  double Max() const;
+  std::vector<double> RowSums() const;
+  std::vector<double> ColSums() const;
+  /// Trace; requires a square matrix.
+  double Trace() const;
+
+  /// True if all entries are finite (no NaN/Inf).
+  bool AllFinite() const;
+  /// True if all entries are >= -tol.
+  bool IsNonNegative(double tol = 0.0) const;
+  /// Max |this - other| entry; requires same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  // ---- Row/column scaling -----------------------------------------------
+
+  /// Divides each row by `d[i]` (no-op for rows with |d[i]| < eps floor).
+  void ScaleRows(const std::vector<double>& d);
+  /// Multiplies each column by `d[j]`.
+  void ScaleCols(const std::vector<double>& d);
+  /// Normalises each row to unit L1 mass; all-zero rows become uniform
+  /// over [c0, c1) if a nonempty range is given, else stay zero.
+  void NormalizeRowsL1(std::size_t c0 = 0, std::size_t c1 = 0);
+
+  /// Short human-readable dump (for debugging / error messages).
+  std::string DebugString(std::size_t max_rows = 8,
+                          std::size_t max_cols = 8) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// ---- Free-function helpers (value-returning) -----------------------------
+
+/// C = A + B. Shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+/// C = A - B. Shapes must match.
+Matrix Sub(const Matrix& a, const Matrix& b);
+/// C = s * A.
+Matrix Scaled(const Matrix& a, double s);
+/// C = A ∘ B (entrywise). Shapes must match.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+/// Splits M into the positive part (|M|+M)/2 — used by multiplicative
+/// updates (paper Eq. 21).
+Matrix PositivePart(const Matrix& m);
+/// Splits M into the negative part (|M|-M)/2 (entrywise nonnegative).
+Matrix NegativePart(const Matrix& m);
+/// Max |a(i,j) - b(i,j)|.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+/// [A | B] side by side. Row counts must match.
+Matrix HConcat(const Matrix& a, const Matrix& b);
+/// [A; B] stacked. Column counts must match.
+Matrix VConcat(const Matrix& a, const Matrix& b);
+
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_MATRIX_H_

@@ -1,0 +1,169 @@
+#include "la/solve.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace rhchme {
+namespace la {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError("Cholesky: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    const double inv = 1.0 / l(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s * inv;
+    }
+  }
+  return l;
+}
+
+Result<Matrix> SolveSPD(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveSPD: rhs rows mismatch");
+  }
+  Result<Matrix> chol = Cholesky(a);
+  if (!chol.ok()) return chol.status();
+  const Matrix& l = chol.value();
+  const std::size_t n = a.rows(), m = b.cols();
+
+  // Forward substitution L·Y = B.
+  Matrix y(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double s = b(i, c);
+      for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y(k, c);
+      y(i, c) = s / l(i, i);
+    }
+  }
+  // Backward substitution Lᵀ·X = Y.
+  Matrix x(n, m);
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double s = y(ii, c);
+      for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x(k, c);
+      x(ii, c) = s / l(ii, ii);
+    }
+  }
+  return x;
+}
+
+namespace {
+
+/// LU with partial pivoting, in place. Returns the pivot permutation and
+/// its sign, or an error on (numerical) singularity.
+Status LuFactor(Matrix* a, std::vector<std::size_t>* perm, int* sign) {
+  const std::size_t n = a->rows();
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), std::size_t{0});
+  *sign = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    double best = std::fabs((*a)(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double v = std::fabs((*a)(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best < 1e-300 || !std::isfinite(best)) {
+      return Status::NumericalError("LU: matrix is singular");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap((*a)(k, j), (*a)(p, j));
+      std::swap((*perm)[k], (*perm)[p]);
+      *sign = -*sign;
+    }
+    const double inv = 1.0 / (*a)(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = (*a)(i, k) * inv;
+      (*a)(i, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) (*a)(i, j) -= f * (*a)(k, j);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Matrix> SolveLU(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLU: matrix must be square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveLU: rhs rows mismatch");
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> perm;
+  int sign = 0;
+  RHCHME_RETURN_IF_ERROR(LuFactor(&lu, &perm, &sign));
+  const std::size_t n = a.rows(), m = b.cols();
+
+  // Apply permutation to B, then forward/backward substitute.
+  Matrix x(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < m; ++c) x(i, c) = b(perm[i], c);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double s = x(i, c);
+      for (std::size_t k = 0; k < i; ++k) s -= lu(i, k) * x(k, c);
+      x(i, c) = s;
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double inv = 1.0 / lu(ii, ii);
+    for (std::size_t c = 0; c < m; ++c) {
+      double s = x(ii, c);
+      for (std::size_t k = ii + 1; k < n; ++k) s -= lu(ii, k) * x(k, c);
+      x(ii, c) = s * inv;
+    }
+  }
+  return x;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  return SolveLU(a, Matrix::Identity(a.rows()));
+}
+
+Result<Matrix> SolveRidged(const Matrix& a, const Matrix& b, double ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveRidged: matrix must be square");
+  }
+  Matrix reg = a;
+  for (std::size_t i = 0; i < reg.rows(); ++i) reg(i, i) += ridge;
+  Result<Matrix> spd = SolveSPD(reg, b);
+  if (spd.ok()) return spd;
+  return SolveLU(reg, b);  // Fall back for indefinite inputs.
+}
+
+Result<double> Determinant(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Determinant: matrix must be square");
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> perm;
+  int sign = 0;
+  Status s = LuFactor(&lu, &perm, &sign);
+  if (!s.ok()) return 0.0;  // Singular: determinant is (numerically) zero.
+  double det = sign;
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,178 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhchme {
+namespace la {
+
+SparseMatrix SparseMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    RHCHME_CHECK(t.row < rows && t.col < cols, "triplet out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.cols_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      m.cols_idx_.push_back(triplets[i].col);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double prune_tol) {
+  std::vector<Triplet> trips;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(dense(i, j)) > prune_tol) {
+        trips.push_back({i, j, dense(i, j)});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(trips));
+}
+
+double SparseMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double SparseMatrix::At(std::size_t i, std::size_t j) const {
+  RHCHME_CHECK(i < rows_ && j < cols_, "At: index out of range");
+  const auto begin = cols_idx_.begin() + row_ptr_[i];
+  const auto end = cols_idx_.begin() + row_ptr_[i + 1];
+  auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_idx_.begin())];
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      d(i, cols_idx_[k]) = values_[k];
+    }
+  }
+  return d;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      trips.push_back({cols_idx_[k], i, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(trips));
+}
+
+std::vector<double> SparseMatrix::MultiplyVec(
+    const std::vector<double>& x) const {
+  RHCHME_CHECK(x.size() == cols_, "MultiplyVec: dims mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += values_[k] * x[cols_idx_[k]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+void SparseMatrix::MultiplyDenseInto(const Matrix& b, Matrix* c) const {
+  RHCHME_CHECK(b.rows() == cols_, "MultiplyDense: dims mismatch");
+  c->Resize(rows_, b.cols());
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* ci = c->row_ptr(i);
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const double v = values_[k];
+      const double* br = b.row_ptr(cols_idx_[k]);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+    }
+  }
+}
+
+Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
+  Matrix c;
+  MultiplyDenseInto(b, &c);
+  return c;
+}
+
+void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
+                                               Matrix* c) const {
+  RHCHME_CHECK(b.rows() == rows_, "MultiplyTransposedDense: dims mismatch");
+  c->Resize(cols_, b.cols());
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* bi = b.row_ptr(i);
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const double v = values_[k];
+      double* cr = c->row_ptr(cols_idx_[k]);
+      for (std::size_t j = 0; j < n; ++j) cr[j] += v * bi[j];
+    }
+  }
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> s(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += values_[k];
+    }
+    s[i] = acc;
+  }
+  return s;
+}
+
+double SparseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+double SparseMatrix::Sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+bool SparseMatrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (std::fabs(values_[k] - At(cols_idx_[k], i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,91 @@
+// Compressed-sparse-row matrix.
+//
+// The inter-type relationship matrix R and pNN affinity graphs are sparse
+// (tf-idf blocks, p edges per object). CSR keeps graph construction and
+// sparse-dense products cheap; solvers densify only when an algorithm is
+// inherently dense (e.g. the error matrix E_R).
+
+#ifndef RHCHME_LA_SPARSE_H_
+#define RHCHME_LA_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace la {
+
+/// One (row, col, value) entry used to build a SparseMatrix.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix. Duplicate triplets are summed at build time;
+/// explicit zeros are dropped.
+class SparseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+
+  /// Builds from triplets (any order; duplicates summed; zeros pruned).
+  static SparseMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Converts a dense matrix, dropping entries with |v| <= prune_tol.
+  static SparseMatrix FromDense(const Matrix& dense, double prune_tol = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Fraction of entries stored: nnz / (rows*cols); 0 for empty shapes.
+  double Density() const;
+
+  const std::vector<std::size_t>& row_offsets() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_indices() const { return cols_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at (i, j) — binary search within the row; O(log nnz_row).
+  double At(std::size_t i, std::size_t j) const;
+
+  /// Dense copy.
+  Matrix ToDense() const;
+
+  /// Transposed copy (CSR of the transpose; O(nnz)).
+  SparseMatrix Transposed() const;
+
+  /// y = A·x.
+  std::vector<double> MultiplyVec(const std::vector<double>& x) const;
+
+  /// C = A·B for dense B (resizes `c`).
+  void MultiplyDenseInto(const Matrix& b, Matrix* c) const;
+  Matrix MultiplyDense(const Matrix& b) const;
+
+  /// C = Aᵀ·B for dense B (resizes `c`; no explicit transpose formed).
+  void MultiplyTransposedDenseInto(const Matrix& b, Matrix* c) const;
+
+  /// Per-row sums (degree vector when A is an affinity matrix).
+  std::vector<double> RowSums() const;
+
+  double FrobeniusNorm() const;
+  double Sum() const;
+
+  /// True when A equals its transpose up to `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;   // size rows_+1
+  std::vector<std::size_t> cols_idx_;  // size nnz
+  std::vector<double> values_;         // size nnz
+};
+
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_SPARSE_H_

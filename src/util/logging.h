@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is quiet by default (level kWarning); solvers expose a
+// `verbose` option that routes per-iteration traces through kDebug.
+
+#ifndef RHCHME_UTIL_LOGGING_H_
+#define RHCHME_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rhchme {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global threshold.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rhchme
+
+#define RHCHME_LOG(level)                                              \
+  if (static_cast<int>(::rhchme::LogLevel::level) >=                   \
+      static_cast<int>(::rhchme::GetLogLevel()))                       \
+  ::rhchme::internal::LogMessage(::rhchme::LogLevel::level, __FILE__,  \
+                                 __LINE__)
+
+#endif  // RHCHME_UTIL_LOGGING_H_

@@ -1,0 +1,150 @@
+// Status / Result<T>: exception-free error handling (RocksDB/Arrow idiom).
+//
+// Fallible operations return a Status (or Result<T> when they produce a
+// value). Internal invariant violations use RHCHME_CHECK, which aborts: a
+// broken invariant is a bug, not a recoverable condition.
+
+#ifndef RHCHME_UTIL_STATUS_H_
+#define RHCHME_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rhchme {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed value (shape mismatch, ...).
+  kFailedPrecondition,///< Object state does not allow the operation.
+  kNotConverged,      ///< Iterative solver hit its iteration cap.
+  kNumericalError,    ///< Singular matrix, NaN/Inf encountered, ...
+  kNotFound,          ///< Lookup failed (e.g. unknown dataset name).
+  kInternal,          ///< Invariant violation that was caught gracefully.
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a free-form message.
+///
+/// Cheap to copy in the OK case (empty message). Use Status::OK() for
+/// success and the named factories for failures:
+///
+///   Status Foo() {
+///     if (bad) return Status::InvalidArgument("rows must match: 3 vs 4");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "InvalidArgument: rows must match: 3 vs 4".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Holds T on success, a non-OK Status on failure.
+///
+///   Result<Matrix> r = Invert(m);
+///   if (!r.ok()) return r.status();
+///   Matrix inv = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : payload_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : payload_(std::move(status)) {
+    RhchmeCheckNotOk();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The failure Status; Status::OK() when ok().
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    AbortIfNotOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::get<T>(std::move(payload_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void RhchmeCheckNotOk() const {
+    if (ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+  void AbortIfNotOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace rhchme
+
+/// Aborts with a message when `cond` is false. For programmer errors only.
+#define RHCHME_CHECK(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s — %s\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define RHCHME_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::rhchme::Status s_ = (expr);                 \
+    if (!s_.ok()) return s_;                      \
+  } while (0)
+
+#endif  // RHCHME_UTIL_STATUS_H_

@@ -1,0 +1,91 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace rhchme {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  RHCHME_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  RHCHME_CHECK(cells.size() == columns_.size(),
+               "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+
+  std::string out;
+  out += title_;
+  out += "\n";
+  std::string sep;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    sep += std::string(width[c], '-');
+    if (c + 1 < columns_.size()) sep += "-+-";
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out += pad(columns_[c], width[c]);
+    if (c + 1 < columns_.size()) out += " | ";
+  }
+  out += "\n" + sep + "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], width[c]);
+      if (c + 1 < row.size()) out += " | ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void TablePrinter::Print() const { std::printf("%s\n", ToText().c_str()); }
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += "\"";
+    return q;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    f << quote(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      f << quote(row[c]) << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rhchme

@@ -1,0 +1,46 @@
+// Aligned ASCII tables + CSV export for the benchmark harness.
+//
+// Every bench binary prints its paper-style table through TablePrinter and
+// mirrors it to a CSV file so results can be diffed across runs.
+
+#ifndef RHCHME_UTIL_TABLE_PRINTER_H_
+#define RHCHME_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rhchme {
+
+/// Collects rows of string cells and renders them as an aligned table
+/// (paper style) or CSV.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `columns` is the header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals ("0.892").
+  static std::string Fmt(double v, int decimals = 3);
+
+  /// Renders the aligned table to a string.
+  std::string ToText() const;
+
+  /// Prints ToText() to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV. Overwrites `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rhchme
+
+#endif  // RHCHME_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,274 @@
+// Unit tests for the SRC, SNMTF, RMC and DRCC baselines.
+
+#include <gtest/gtest.h>
+
+#include "baselines/drcc.h"
+#include "baselines/rmc.h"
+#include "baselines/snmtf.h"
+#include "baselines/src_clustering.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/gemm.h"
+
+namespace rhchme {
+namespace baselines {
+namespace {
+
+data::MultiTypeRelationalData SmallData(uint64_t seed = 17) {
+  data::BlockWorldOptions o;
+  o.objects_per_type = {24, 18, 12};
+  o.n_classes = 3;
+  o.seed = seed;
+  return data::GenerateBlockWorld(o).value();
+}
+
+// ---- SRC -------------------------------------------------------------------
+
+TEST(Src, RecoversPlantedClusters) {
+  data::MultiTypeRelationalData d = SmallData();
+  SrcOptions opts;
+  opts.max_iterations = 40;
+  Result<fact::HoccResult> r = RunSrc(d, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<double> f = eval::FScore(d.Type(0).labels, r.value().labels[0]);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f.value(), 0.9);
+}
+
+TEST(Src, ObjectiveDecreases) {
+  data::MultiTypeRelationalData d = SmallData();
+  SrcOptions opts;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;
+  Result<fact::HoccResult> r = RunSrc(d, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value().objective_trace;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i], t[i - 1] * (1.0 + 1e-7)) << "iteration " << i;
+  }
+}
+
+TEST(Src, ValidationErrors) {
+  SrcOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(RunSrc(SmallData(), opts).ok());
+}
+
+// ---- SNMTF -----------------------------------------------------------------
+
+TEST(Snmtf, RecoversPlantedClusters) {
+  data::MultiTypeRelationalData d = SmallData();
+  SnmtfOptions opts;
+  opts.lambda = 1.0;
+  opts.max_iterations = 40;
+  Result<fact::HoccResult> r = RunSnmtf(d, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<double> f = eval::FScore(d.Type(0).labels, r.value().labels[0]);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f.value(), 0.9);
+}
+
+TEST(Snmtf, ObjectiveDecreases) {
+  data::MultiTypeRelationalData d = SmallData();
+  SnmtfOptions opts;
+  opts.lambda = 0.5;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;
+  Result<fact::HoccResult> r = RunSnmtf(d, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value().objective_trace;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i], t[i - 1] * (1.0 + 1e-7)) << "iteration " << i;
+  }
+}
+
+TEST(Snmtf, JointLaplacianIsBlockDiagonal) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  graph::KnnGraphOptions knn;
+  Result<la::Matrix> l = BuildJointKnnLaplacian(
+      d, b, knn, graph::LaplacianKind::kSymmetric);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value().Block(0, 24, 24, 18).MaxAbs(), 0.0);
+  EXPECT_GT(l.value().Block(0, 0, 24, 24).MaxAbs(), 0.0);
+}
+
+TEST(Snmtf, FailsWithoutFeatures) {
+  data::MultiTypeRelationalData d = SmallData();
+  d.MutableType(1).features = la::Matrix();
+  SnmtfOptions opts;
+  EXPECT_FALSE(RunSnmtf(d, opts).ok());
+}
+
+// ---- RMC -------------------------------------------------------------------
+
+TEST(Rmc, DefaultCandidatesMatchPaper) {
+  // q = 6: p ∈ {5, 10} × {binary, heat, cosine} (paper §IV.B).
+  auto cands = DefaultRmcCandidates();
+  ASSERT_EQ(cands.size(), 6u);
+  std::size_t p5 = 0, p10 = 0;
+  for (const auto& c : cands) {
+    if (c.p == 5) ++p5;
+    if (c.p == 10) ++p10;
+  }
+  EXPECT_EQ(p5, 3u);
+  EXPECT_EQ(p10, 3u);
+}
+
+TEST(Rmc, RecoversPlantedClustersAndWeightsSumToOne) {
+  data::MultiTypeRelationalData d = SmallData();
+  RmcOptions opts;
+  opts.lambda = 1.0;
+  opts.max_iterations = 30;
+  Result<RmcResult> r = RunRmc(d, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<double> f = eval::FScore(d.Type(0).labels, r.value().hocc.labels[0]);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f.value(), 0.9);
+  double sum = 0.0;
+  for (double b : r.value().candidate_weights) {
+    EXPECT_GE(b, 0.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Rmc, CustomCandidateListRespected) {
+  data::MultiTypeRelationalData d = SmallData();
+  RmcOptions opts;
+  opts.lambda = 1.0;
+  opts.max_iterations = 10;
+  graph::KnnGraphOptions only;
+  only.p = 3;
+  opts.candidates = {only};
+  Result<RmcResult> r = RunRmc(d, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidate_weights.size(), 1u);
+  EXPECT_NEAR(r.value().candidate_weights[0], 1.0, 1e-12);
+}
+
+// Simplex projection properties (TEST_P over inputs).
+class SimplexTest : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(SimplexTest, OutputOnSimplex) {
+  std::vector<double> out = ProjectOntoSimplex(GetParam());
+  double sum = 0.0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, SimplexTest,
+    ::testing::Values(std::vector<double>{0.2, 0.3, 0.5},
+                      std::vector<double>{10.0, -5.0, 0.0},
+                      std::vector<double>{-1.0, -2.0, -3.0},
+                      std::vector<double>{0.0, 0.0},
+                      std::vector<double>{7.0},
+                      std::vector<double>{1e6, 1e6, 1e-6}));
+
+TEST(Simplex, AlreadyOnSimplexIsFixedPoint) {
+  std::vector<double> v = {0.1, 0.4, 0.5};
+  std::vector<double> out = ProjectOntoSimplex(v);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(Simplex, PreservesOrdering) {
+  std::vector<double> out = ProjectOntoSimplex({3.0, 1.0, 2.0});
+  EXPECT_GE(out[0], out[2]);
+  EXPECT_GE(out[2], out[1]);
+}
+
+// ---- DRCC ------------------------------------------------------------------
+
+/// Nonnegative block matrix with planted co-clusters.
+la::Matrix BlockMatrix(Rng* rng) {
+  la::Matrix x(30, 20);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      const bool same = (i / 10) == (j / 7 > 2 ? 2 : j / 7);
+      x(i, j) = (same ? 1.0 : 0.1) * (0.5 + rng->Uniform());
+    }
+  }
+  return x;
+}
+
+TEST(Drcc, RecoversRowCoClusters) {
+  Rng rng(23);
+  la::Matrix x = BlockMatrix(&rng);
+  DrccOptions opts;
+  opts.row_clusters = 3;
+  opts.col_clusters = 3;
+  opts.lambda = 0.1;
+  opts.mu = 0.1;
+  opts.max_iterations = 60;
+  Result<DrccResult> r = RunDrcc(x, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::size_t> truth(30);
+  for (std::size_t i = 0; i < 30; ++i) truth[i] = i / 10;
+  Result<double> f = eval::FScore(truth, r.value().row_labels);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f.value(), 0.85);
+}
+
+TEST(Drcc, FactorsHaveRightShapes) {
+  Rng rng(29);
+  la::Matrix x = BlockMatrix(&rng);
+  DrccOptions opts;
+  opts.row_clusters = 3;
+  opts.col_clusters = 4;
+  opts.max_iterations = 15;
+  Result<DrccResult> r = RunDrcc(x, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().g.rows(), 30u);
+  EXPECT_EQ(r.value().g.cols(), 3u);
+  EXPECT_EQ(r.value().f.rows(), 20u);
+  EXPECT_EQ(r.value().f.cols(), 4u);
+  EXPECT_EQ(r.value().s.rows(), 3u);
+  EXPECT_EQ(r.value().s.cols(), 4u);
+  EXPECT_EQ(r.value().row_labels.size(), 30u);
+  EXPECT_EQ(r.value().col_labels.size(), 20u);
+  EXPECT_TRUE(r.value().g.IsNonNegative());
+  EXPECT_TRUE(r.value().f.IsNonNegative());
+}
+
+TEST(Drcc, ObjectiveDecreases) {
+  Rng rng(31);
+  la::Matrix x = BlockMatrix(&rng);
+  DrccOptions opts;
+  opts.row_clusters = 3;
+  opts.col_clusters = 3;
+  opts.lambda = 0.2;
+  opts.mu = 0.2;
+  opts.max_iterations = 25;
+  opts.tolerance = 0.0;
+  Result<DrccResult> r = RunDrcc(x, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value().objective_trace;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i], t[i - 1] * (1.0 + 1e-6)) << "iteration " << i;
+  }
+}
+
+TEST(Drcc, ValidationErrors) {
+  Rng rng(37);
+  la::Matrix x = BlockMatrix(&rng);
+  DrccOptions opts;
+  opts.row_clusters = 0;
+  EXPECT_FALSE(RunDrcc(x, opts).ok());
+  opts = DrccOptions{};
+  opts.row_clusters = 100;  // More clusters than rows.
+  opts.col_clusters = 2;
+  EXPECT_FALSE(RunDrcc(x, opts).ok());
+  opts = DrccOptions{};
+  opts.row_clusters = 2;
+  opts.col_clusters = 2;
+  opts.lambda = -1.0;
+  EXPECT_FALSE(RunDrcc(x, opts).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace rhchme

@@ -1,0 +1,123 @@
+// Unit tests for noise/corruption injection.
+
+#include "data/corruption.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace rhchme {
+namespace data {
+namespace {
+
+TEST(CorruptRows, OnlySelectedRowsChange) {
+  la::Matrix m(20, 10, 1.0);
+  la::Matrix original = m;
+  Rng rng(1);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 0.25;
+  opts.entry_fraction = 1.0;
+  std::vector<std::size_t> rows = CorruptRows(&m, opts, &rng);
+  EXPECT_EQ(rows.size(), 5u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bool corrupted =
+        std::find(rows.begin(), rows.end(), i) != rows.end();
+    double diff = 0.0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      diff += std::fabs(m(i, j) - original(i, j));
+    }
+    if (corrupted) {
+      EXPECT_GT(diff, 0.0) << "row " << i;
+    } else {
+      EXPECT_EQ(diff, 0.0) << "row " << i;
+    }
+  }
+}
+
+TEST(CorruptRows, SpikesAreAdditiveAndPositive) {
+  la::Matrix m(10, 5, 2.0);
+  Rng rng(2);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 1.0;
+  opts.entry_fraction = 1.0;
+  opts.magnitude = 3.0;
+  CorruptRows(&m, opts, &rng);
+  EXPECT_GE(m.Min(), 2.0);  // Additive spikes never decrease values.
+  EXPECT_GT(m.Max(), 2.0);
+}
+
+TEST(CorruptRows, ZeroFractionIsNoOp) {
+  la::Matrix m(5, 5, 1.0);
+  la::Matrix original = m;
+  Rng rng(3);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 0.0;
+  EXPECT_TRUE(CorruptRows(&m, opts, &rng).empty());
+  EXPECT_EQ(la::MaxAbsDiff(m, original), 0.0);
+}
+
+TEST(CorruptRows, MagnitudeScalesWithDataMean) {
+  la::Matrix small(10, 10, 0.1);
+  la::Matrix large(10, 10, 100.0);
+  Rng rng_a(4), rng_b(4);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 1.0;
+  opts.entry_fraction = 1.0;
+  CorruptRows(&small, opts, &rng_a);
+  CorruptRows(&large, opts, &rng_b);
+  // Spikes are relative: the large matrix receives much larger spikes.
+  EXPECT_GT(large.Max() - 100.0, 10.0 * (small.Max() - 0.1));
+}
+
+TEST(CorruptRows, RowIndicesAreSortedAndUnique) {
+  la::Matrix m(50, 4, 1.0);
+  Rng rng(5);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 0.4;
+  std::vector<std::size_t> rows = CorruptRows(&m, opts, &rng);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  EXPECT_EQ(std::adjacent_find(rows.begin(), rows.end()), rows.end());
+}
+
+TEST(GaussianNoise, ClampsNegativesWhenAsked) {
+  la::Matrix m(30, 30, 0.01);
+  Rng rng(6);
+  AddGaussianNoise(&m, 1.0, &rng, /*keep_nonnegative=*/true);
+  EXPECT_TRUE(m.IsNonNegative());
+}
+
+TEST(GaussianNoise, LeavesNegativesWhenAllowed) {
+  la::Matrix m(30, 30, 0.0);
+  Rng rng(7);
+  AddGaussianNoise(&m, 1.0, &rng, /*keep_nonnegative=*/false);
+  EXPECT_LT(m.Min(), 0.0);
+}
+
+TEST(GaussianNoise, ChangesRoughlyEveryEntry) {
+  la::Matrix m(10, 10, 5.0);
+  Rng rng(8);
+  AddGaussianNoise(&m, 0.1, &rng);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] != 5.0) ++changed;
+  }
+  EXPECT_GT(changed, 95u);
+}
+
+TEST(SparseSpikes, ApproximatelyHonoursProbability) {
+  la::Matrix m(100, 100, 0.0);
+  Rng rng(9);
+  AddSparseSpikes(&m, 0.1, 5.0, &rng);
+  std::size_t spiked = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] != 0.0) ++spiked;
+  }
+  EXPECT_NEAR(static_cast<double>(spiked) / 10000.0, 0.1, 0.02);
+  EXPECT_LE(m.Max(), 5.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rhchme

@@ -1,0 +1,174 @@
+// Unit tests for the heterogeneous manifold ensemble (paper Eq. 12).
+
+#include "core/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "la/eigen_sym.h"
+#include "la/gemm.h"
+
+namespace rhchme {
+namespace core {
+namespace {
+
+data::MultiTypeRelationalData SmallData() {
+  data::BlockWorldOptions o;
+  o.objects_per_type = {15, 12};
+  o.n_classes = 3;
+  o.seed = 9;
+  return data::GenerateBlockWorld(o).value();
+}
+
+EnsembleOptions FastOptions() {
+  EnsembleOptions opts;
+  opts.subspace.spg.max_iterations = 20;
+  return opts;
+}
+
+TEST(Ensemble, ValidationErrors) {
+  EnsembleOptions opts = FastOptions();
+  opts.include_knn = false;
+  opts.include_subspace = false;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = FastOptions();
+  opts.alpha = -1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = FastOptions();
+  opts.knn.p = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  EXPECT_TRUE(FastOptions().Validate().ok());
+}
+
+TEST(Ensemble, BlockDiagonalStructure) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const la::Matrix& l = e.value().laplacian;
+  ASSERT_EQ(l.rows(), 27u);
+  // Cross-type blocks are exactly zero.
+  EXPECT_EQ(l.Block(0, 15, 15, 12).MaxAbs(), 0.0);
+  EXPECT_EQ(l.Block(15, 0, 12, 15).MaxAbs(), 0.0);
+  // Diagonal blocks are not.
+  EXPECT_GT(l.Block(0, 0, 15, 15).MaxAbs(), 0.0);
+  EXPECT_GT(l.Block(15, 15, 12, 12).MaxAbs(), 0.0);
+}
+
+TEST(Ensemble, EqualsAlphaLsPlusLe) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  EnsembleOptions both = FastOptions();
+  both.alpha = 2.5;
+  EnsembleOptions only_s = both;
+  only_s.include_knn = false;
+  only_s.alpha = 1.0;  // Raw L_S.
+  EnsembleOptions only_e = both;
+  only_e.include_subspace = false;
+
+  Result<HeterogeneousEnsemble> e_both = BuildEnsemble(d, b, both);
+  Result<HeterogeneousEnsemble> e_s = BuildEnsemble(d, b, only_s);
+  Result<HeterogeneousEnsemble> e_e = BuildEnsemble(d, b, only_e);
+  ASSERT_TRUE(e_both.ok());
+  ASSERT_TRUE(e_s.ok());
+  ASSERT_TRUE(e_e.ok());
+
+  la::Matrix expected = la::Scaled(e_s.value().laplacian, 2.5);
+  expected.Add(e_e.value().laplacian);
+  EXPECT_LT(la::MaxAbsDiff(e_both.value().laplacian, expected), 1e-9);
+}
+
+TEST(Ensemble, MembersAreRecorded) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e.value().subspace_affinity.size(), 2u);
+  ASSERT_EQ(e.value().knn_affinity.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(e.value().subspace_affinity[k].rows(), d.Type(k).count);
+    EXPECT_EQ(e.value().knn_affinity[k].rows(), d.Type(k).count);
+    EXPECT_GT(e.value().knn_affinity[k].nnz(), 0u);
+  }
+}
+
+TEST(Ensemble, DisabledMemberLeavesEmptySlot) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  EnsembleOptions opts = FastOptions();
+  opts.include_subspace = false;
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().subspace_affinity[0].empty());
+  EXPECT_GT(e.value().knn_affinity[0].nnz(), 0u);
+}
+
+TEST(Ensemble, LaplacianIsPSD) {
+  // Both members are symmetric-normalised Laplacians, so the ensemble
+  // (a nonnegative combination) must be PSD.
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
+  ASSERT_TRUE(e.ok());
+  Result<la::EigenSymResult> eig = la::EigenSym(e.value().laplacian);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(eig.value().eigenvalues.front(), -1e-8);
+}
+
+TEST(Ensemble, AlphaZeroDropsSubspaceInfluence) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  EnsembleOptions zero_alpha = FastOptions();
+  zero_alpha.alpha = 0.0;
+  EnsembleOptions knn_only = FastOptions();
+  knn_only.include_subspace = false;
+  Result<HeterogeneousEnsemble> a = BuildEnsemble(d, b, zero_alpha);
+  Result<HeterogeneousEnsemble> k = BuildEnsemble(d, b, knn_only);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(k.ok());
+  EXPECT_LT(la::MaxAbsDiff(a.value().laplacian, k.value().laplacian), 1e-12);
+}
+
+TEST(Ensemble, ReweightMatchesFreshBuild) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  EnsembleOptions base_opts = FastOptions();
+  Result<HeterogeneousEnsemble> base = BuildEnsemble(d, b, base_opts);
+  ASSERT_TRUE(base.ok());
+
+  EnsembleOptions heavy = base_opts;
+  heavy.alpha = 3.5;
+  Result<HeterogeneousEnsemble> fresh = BuildEnsemble(d, b, heavy);
+  ASSERT_TRUE(fresh.ok());
+  Result<HeterogeneousEnsemble> reweighted =
+      ReweightEnsemble(base.value(), b, 3.5);
+  ASSERT_TRUE(reweighted.ok());
+  EXPECT_LT(la::MaxAbsDiff(fresh.value().laplacian,
+                           reweighted.value().laplacian),
+            1e-9);
+  EXPECT_DOUBLE_EQ(reweighted.value().alpha, 3.5);
+}
+
+TEST(Ensemble, ReweightRejectsBadInputs) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> base = BuildEnsemble(d, b, FastOptions());
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(ReweightEnsemble(base.value(), b, -1.0).ok());
+  HeterogeneousEnsemble broken = base.value();
+  broken.subspace_affinity.pop_back();
+  EXPECT_FALSE(ReweightEnsemble(broken, b, 1.0).ok());
+}
+
+TEST(Ensemble, FailsWithoutFeatures) {
+  data::MultiTypeRelationalData d = SmallData();
+  d.MutableType(0).features = la::Matrix();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rhchme

@@ -1,0 +1,141 @@
+// Unit tests for the experiment harness behind Tables III-V.
+
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace rhchme {
+namespace eval {
+namespace {
+
+data::MultiTypeRelationalData SmallCorpus() {
+  data::SyntheticCorpusOptions o;
+  o.docs_per_class = {12, 12, 12};
+  o.n_terms = 60;
+  o.n_concepts = 40;
+  o.topics_per_class = 2;
+  o.core_terms_per_topic = 5;
+  o.doc_length_mean = 50.0;
+  o.class_overlap = 0.3;
+  o.seed = 3;
+  return data::GenerateSyntheticCorpus(o).value();
+}
+
+PaperBenchOptions FastBench() {
+  PaperBenchOptions o;
+  o.rhchme.max_iterations = 15;
+  o.rhchme.ensemble.subspace.spg.max_iterations = 15;
+  o.snmtf.max_iterations = 15;
+  o.rmc.max_iterations = 10;
+  o.src.max_iterations = 15;
+  o.drcc.max_iterations = 15;
+  return o;
+}
+
+TEST(Experiment, ScoreLabelsComputesBothMetrics) {
+  std::vector<std::size_t> y = {0, 0, 1, 1};
+  Result<Scores> s = ScoreLabels(y, y);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value().fscore, 1.0);
+  EXPECT_NEAR(s.value().nmi, 1.0, 1e-12);
+}
+
+TEST(Experiment, RunsAllSevenMethods) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  Result<std::vector<MethodRun>> runs =
+      RunPaperMethods(d, "toy", FastBench());
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs.value().size(), 7u);
+  std::vector<std::string> expected = {"DR-T", "DR-C",  "DR-TC", "SRC",
+                                       "SNMTF", "RMC", "RHCHME"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(runs.value()[i].method, expected[i]);
+    EXPECT_EQ(runs.value()[i].dataset, "toy");
+    EXPECT_GE(runs.value()[i].scores.fscore, 0.0);
+    EXPECT_LE(runs.value()[i].scores.fscore, 1.0);
+    EXPECT_GE(runs.value()[i].scores.nmi, 0.0);
+    EXPECT_LE(runs.value()[i].scores.nmi, 1.0);
+    EXPECT_GT(runs.value()[i].seconds, 0.0);
+    EXPECT_GT(runs.value()[i].iterations, 0);
+  }
+}
+
+TEST(Experiment, MethodFilterRestrictsRuns) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  PaperBenchOptions opts = FastBench();
+  opts.methods = {"SRC", "RHCHME"};
+  Result<std::vector<MethodRun>> runs = RunPaperMethods(d, "toy", opts);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(runs.value()[0].method, "SRC");
+  EXPECT_EQ(runs.value()[1].method, "RHCHME");
+}
+
+TEST(Experiment, ConceptVariantsSkippedForTwoTypeData) {
+  data::BlockWorldOptions o;
+  o.objects_per_type = {20, 16};
+  o.n_classes = 2;
+  o.seed = 5;
+  data::MultiTypeRelationalData d = data::GenerateBlockWorld(o).value();
+  PaperBenchOptions opts = FastBench();
+  opts.methods = {"DR-T", "DR-C", "DR-TC", "SRC"};
+  Result<std::vector<MethodRun>> runs = RunPaperMethods(d, "bw", opts);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  // DR-C and DR-TC need a concept type; only DR-T and SRC remain.
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(runs.value()[0].method, "DR-T");
+  EXPECT_EQ(runs.value()[1].method, "SRC");
+}
+
+TEST(Experiment, RequiresDocumentLabels) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  d.MutableType(0).labels.clear();
+  Result<std::vector<MethodRun>> runs =
+      RunPaperMethods(d, "toy", FastBench());
+  EXPECT_FALSE(runs.ok());
+}
+
+TEST(Experiment, RestartsAverageScores) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  PaperBenchOptions opts = FastBench();
+  opts.methods = {"SRC"};
+  opts.restarts = 3;
+  Result<std::vector<MethodRun>> avg = RunPaperMethods(d, "toy", opts);
+  ASSERT_TRUE(avg.ok()) << avg.status().ToString();
+
+  // Manual average over the same three seeds must agree.
+  double f = 0.0;
+  for (uint64_t seed : {0ull, 1ull, 2ull}) {
+    baselines::SrcOptions o = opts.src;
+    o.seed = seed;
+    auto fit = baselines::RunSrc(d, o);
+    ASSERT_TRUE(fit.ok());
+    f += FScore(d.Type(0).labels, fit.value().labels[0]).value();
+  }
+  EXPECT_NEAR(avg.value()[0].scores.fscore, f / 3.0, 1e-12);
+}
+
+TEST(Experiment, RejectsZeroRestarts) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  PaperBenchOptions opts = FastBench();
+  opts.restarts = 0;
+  EXPECT_FALSE(RunPaperMethods(d, "toy", opts).ok());
+}
+
+TEST(Experiment, DeterministicAcrossCalls) {
+  data::MultiTypeRelationalData d = SmallCorpus();
+  PaperBenchOptions opts = FastBench();
+  opts.methods = {"RHCHME"};
+  Result<std::vector<MethodRun>> a = RunPaperMethods(d, "toy", opts);
+  Result<std::vector<MethodRun>> b = RunPaperMethods(d, "toy", opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value()[0].scores.fscore, b.value()[0].scores.fscore);
+  EXPECT_DOUBLE_EQ(a.value()[0].scores.nmi, b.value()[0].scores.nmi);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace rhchme

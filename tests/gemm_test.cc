@@ -1,0 +1,139 @@
+// Unit and property tests for the GEMM kernels.
+
+#include "la/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace rhchme {
+namespace la {
+namespace {
+
+/// Reference triple-loop product for validating the optimised kernels.
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Gemm, HandComputedProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomUniform(6, 6, &rng);
+  EXPECT_LT(MaxAbsDiff(Multiply(a, Matrix::Identity(6)), a), 1e-15);
+  EXPECT_LT(MaxAbsDiff(Multiply(Matrix::Identity(6), a), a), 1e-15);
+}
+
+/// Property sweep over shapes: all kernel variants agree with the naive
+/// reference and with each other through transposes.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, VariantsAgreeWithNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 31 + k * 7 + n);
+  Matrix a = Matrix::RandomNormal(m, k, &rng);
+  Matrix b = Matrix::RandomNormal(k, n, &rng);
+  Matrix expected = NaiveMultiply(a, b);
+
+  EXPECT_LT(MaxAbsDiff(Multiply(a, b), expected), 1e-10);
+  EXPECT_LT(MaxAbsDiff(MultiplyTN(a.Transposed(), b), expected), 1e-10);
+  EXPECT_LT(MaxAbsDiff(MultiplyNT(a, b.Transposed()), expected), 1e-10);
+}
+
+TEST_P(GemmShapeTest, TransposeIdentity) {
+  auto [m, k, n] = GetParam();
+  Rng rng(200 + m + k + n);
+  Matrix a = Matrix::RandomNormal(m, k, &rng);
+  Matrix b = Matrix::RandomNormal(k, n, &rng);
+  // (A·B)ᵀ = Bᵀ·Aᵀ.
+  Matrix lhs = Multiply(a, b).Transposed();
+  Matrix rhs = Multiply(b.Transposed(), a.Transposed());
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(8, 1, 8), std::make_tuple(2, 9, 7),
+                      std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 5)));
+
+TEST(Gemm, AssociativityProperty) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(6, 4, &rng);
+  Matrix b = Matrix::RandomNormal(4, 5, &rng);
+  Matrix c = Matrix::RandomNormal(5, 3, &rng);
+  Matrix lhs = Multiply(Multiply(a, b), c);
+  Matrix rhs = Multiply(a, Multiply(b, c));
+  EXPECT_LT(MaxAbsDiff(lhs, rhs), 1e-10);
+}
+
+TEST(Gemm, GramMatchesExplicitProduct) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomNormal(9, 6, &rng);
+  Matrix expected = Multiply(a.Transposed(), a);
+  Matrix g = Gram(a);
+  EXPECT_LT(MaxAbsDiff(g, expected), 1e-10);
+  // Symmetry.
+  EXPECT_LT(MaxAbsDiff(g, g.Transposed()), 1e-15);
+}
+
+TEST(Gemm, MultiplyIntoReusesBuffer) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomNormal(4, 4, &rng);
+  Matrix b = Matrix::RandomNormal(4, 4, &rng);
+  Matrix c(2, 2, 99.0);  // Wrong shape, stale contents.
+  MultiplyInto(a, b, &c);
+  EXPECT_LT(MaxAbsDiff(c, NaiveMultiply(a, b)), 1e-10);
+}
+
+TEST(Gemm, VectorProducts) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  std::vector<double> x = {1, 1, 1};
+  EXPECT_EQ(MultiplyVec(a, x), (std::vector<double>{6, 15}));
+  std::vector<double> y = {1, 2};
+  EXPECT_EQ(MultiplyTVec(a, y), (std::vector<double>{9, 12, 15}));
+}
+
+TEST(Gemm, FrobeniusInnerMatchesTrace) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomNormal(5, 7, &rng);
+  Matrix b = Matrix::RandomNormal(5, 7, &rng);
+  // <A, B>_F = tr(Aᵀ B).
+  double expected = Multiply(a.Transposed(), b).Trace();
+  EXPECT_NEAR(FrobeniusInner(a, b), expected, 1e-10);
+}
+
+TEST(Gemm, SparseInputsShortCircuit) {
+  // Zero blocks must not pollute the result (the kernels skip zeros).
+  Matrix a(30, 30);
+  Matrix b(30, 30);
+  a(3, 4) = 2.0;
+  b(4, 9) = 5.0;
+  Matrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(3, 9), 10.0);
+  EXPECT_DOUBLE_EQ(c.Sum(), 10.0);
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,182 @@
+// Unit tests for k-means and the membership helpers.
+
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/assignments.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace cluster {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D.
+la::Matrix Blobs(std::size_t per_blob, Rng* rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  la::Matrix pts(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      pts(b * per_blob + i, 0) = centers[b][0] + rng->Normal(0.0, 0.3);
+      pts(b * per_blob + i, 1) = centers[b][1] + rng->Normal(0.0, 0.3);
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  la::Matrix pts = Blobs(30, &rng);
+  KMeansOptions opts;
+  opts.k = 3;
+  Result<KMeansResult> r = KMeans(pts, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  // Each blob maps to exactly one cluster id and the ids are distinct.
+  std::set<std::size_t> ids;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t id = r.value().assignments[b * 30];
+    ids.insert(id);
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(r.value().assignments[b * 30 + i], id);
+    }
+  }
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  la::Matrix pts = Blobs(20, &rng1);
+  Rng data_rng(7);
+  la::Matrix pts2 = Blobs(20, &rng2);
+  KMeansOptions opts;
+  opts.k = 3;
+  Rng a(9), b(9);
+  Result<KMeansResult> r1 = KMeans(pts, opts, &a);
+  Result<KMeansResult> r2 = KMeans(pts2, opts, &b);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().assignments, r2.value().assignments);
+  EXPECT_DOUBLE_EQ(r1.value().inertia, r2.value().inertia);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(3);
+  la::Matrix pts = la::Matrix::RandomNormal(100, 3, &rng);
+  double prev = 1e300;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.restarts = 4;
+    Rng local(11);
+    Result<KMeansResult> r = KMeans(pts, opts, &local);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r.value().inertia, prev + 1e-9) << "k=" << k;
+    prev = r.value().inertia;
+  }
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  la::Matrix pts = la::Matrix::FromRows({{0, 0}, {2, 0}, {0, 2}, {2, 2}});
+  KMeansOptions opts;
+  opts.k = 1;
+  Rng rng(5);
+  Result<KMeansResult> r = KMeans(pts, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().centroids(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(r.value().centroids(0, 1), 1.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  la::Matrix pts = la::Matrix::FromRows({{0.0}, {5.0}, {10.0}});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 5;
+  Rng rng(6);
+  Result<KMeansResult> r = KMeans(pts, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  std::set<std::size_t> ids(r.value().assignments.begin(),
+                            r.value().assignments.end());
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_NEAR(r.value().inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, ValidationErrors) {
+  Rng rng(7);
+  la::Matrix pts = la::Matrix::RandomNormal(5, 2, &rng);
+  KMeansOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(KMeans(pts, opts, &rng).ok());
+  opts.k = 10;  // More clusters than points.
+  EXPECT_FALSE(KMeans(pts, opts, &rng).ok());
+  opts.k = 2;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(KMeans(pts, opts, &rng).ok());
+  opts.max_iterations = 10;
+  opts.restarts = 0;
+  EXPECT_FALSE(KMeans(pts, opts, &rng).ok());
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  la::Matrix pts(10, 2, 1.0);  // All identical.
+  KMeansOptions opts;
+  opts.k = 3;
+  Rng rng(8);
+  Result<KMeansResult> r = KMeans(pts, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().inertia, 0.0, 1e-12);
+}
+
+// ---- Assignment helpers ----------------------------------------------------
+
+TEST(Assignments, HardAssignmentsFullMatrix) {
+  la::Matrix g = la::Matrix::FromRows({{0.1, 0.9}, {0.8, 0.2}});
+  EXPECT_EQ(HardAssignments(g), (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Assignments, HardAssignmentsSubrange) {
+  la::Matrix g = la::Matrix::FromRows(
+      {{0.9, 0.1, 0.0, 0.0}, {0.1, 0.9, 0.0, 0.0}, {0.0, 0.0, 0.3, 0.7}});
+  // Columns [2,4) of row [2,3): labels relative to column 2.
+  EXPECT_EQ(HardAssignments(g, 2, 3, 2, 4), (std::vector<std::size_t>{1}));
+}
+
+TEST(Assignments, MembershipFromLabelsProperties) {
+  la::Matrix g = MembershipFromLabels({0, 2, 1}, 3, 0.3);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GT(g(i, j), 0.0);  // Never exactly zero (MU requirement).
+      sum += g(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Arg-max recovers the label.
+  EXPECT_EQ(HardAssignments(g), (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(Assignments, MembershipSingleCluster) {
+  la::Matrix g = MembershipFromLabels({0, 0}, 1, 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+}
+
+TEST(Assignments, RandomMembershipIsRowStochastic) {
+  Rng rng(9);
+  la::Matrix g = RandomMembership(20, 4, &rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_GT(g(i, j), 0.0);
+      sum += g(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace rhchme

@@ -1,0 +1,198 @@
+// Unit tests for FScore (paper Eq. 38), NMI, purity and ARI.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rhchme {
+namespace eval {
+namespace {
+
+using Labels = std::vector<std::size_t>;
+
+TEST(ContingencyTable, CountsAndSizes) {
+  Labels truth = {0, 0, 1, 1, 2};
+  Labels pred = {1, 1, 0, 1, 2};
+  Result<ContingencyTable> t = ContingencyTable::Build(truth, pred);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_classes(), 3u);
+  EXPECT_EQ(t.value().num_clusters(), 3u);
+  EXPECT_EQ(t.value().total(), 5u);
+  EXPECT_EQ(t.value().class_size(0), 2u);
+  // Cluster ids are compacted in order of first appearance: predicted
+  // label 1 becomes compact id 0, so class 0 pairs with cluster 0.
+  EXPECT_EQ(t.value().joint(0, 0), 2u);
+}
+
+TEST(ContingencyTable, NonContiguousLabelsCompacted) {
+  Labels truth = {7, 7, 42};
+  Labels pred = {100, 3, 3};
+  Result<ContingencyTable> t = ContingencyTable::Build(truth, pred);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_classes(), 2u);
+  EXPECT_EQ(t.value().num_clusters(), 2u);
+}
+
+TEST(ContingencyTable, RejectsBadInput) {
+  EXPECT_FALSE(ContingencyTable::Build({}, {}).ok());
+  EXPECT_FALSE(ContingencyTable::Build({1, 2}, {1}).ok());
+}
+
+TEST(FScore, PerfectClusteringIsOne) {
+  Labels y = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(FScore(y, y).value(), 1.0);
+}
+
+TEST(FScore, PermutedLabelsStillPerfect) {
+  Labels truth = {0, 0, 1, 1, 2, 2};
+  Labels pred = {2, 2, 0, 0, 1, 1};  // Same partition, renamed.
+  EXPECT_DOUBLE_EQ(FScore(truth, pred).value(), 1.0);
+}
+
+TEST(FScore, HandComputedCase) {
+  // Classes {a,a,b,b}; clusters {0,0,0,1}.
+  // Class a: best cluster 0 -> P=2/3, R=1, F=0.8.
+  // Class b: cluster 0 gives P=1/3,R=1/2,F=0.4; cluster 1 gives P=1,R=1/2,
+  // F=2/3 -> best 2/3. Weighted: 0.5*0.8 + 0.5*2/3 = 0.7333...
+  Labels truth = {0, 0, 1, 1};
+  Labels pred = {0, 0, 0, 1};
+  EXPECT_NEAR(FScore(truth, pred).value(), 0.5 * 0.8 + 0.5 * (2.0 / 3.0),
+              1e-12);
+}
+
+TEST(FScore, SingleClusterOnBalancedClasses) {
+  // All objects in one cluster over k balanced classes: each class has
+  // P = 1/k, R = 1 -> F = 2/(k+1).
+  Labels truth = {0, 0, 1, 1, 2, 2};
+  Labels pred = {0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(FScore(truth, pred).value(), 2.0 / 4.0, 1e-12);
+}
+
+TEST(Nmi, PerfectClusteringIsOne) {
+  Labels y = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(Nmi(y, y).value(), 1.0, 1e-12);
+}
+
+TEST(Nmi, PermutationInvariant) {
+  Labels truth = {0, 0, 1, 1, 2, 2};
+  Labels pred = {1, 1, 2, 2, 0, 0};
+  EXPECT_NEAR(Nmi(truth, pred).value(), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionIsNearZero) {
+  // Pred splits orthogonally to truth.
+  Labels truth = {0, 0, 1, 1};
+  Labels pred = {0, 1, 0, 1};
+  EXPECT_NEAR(Nmi(truth, pred).value(), 0.0, 1e-12);
+}
+
+TEST(Nmi, SingleClusterConventions) {
+  Labels truth = {0, 0, 1, 1};
+  Labels one = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Nmi(truth, one).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Nmi(one, one).value(), 1.0);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+  Rng rng(1);
+  Labels a(50), b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a[i] = rng.UniformInt(4);
+    b[i] = rng.UniformInt(3);
+  }
+  EXPECT_NEAR(Nmi(a, b).value(), Nmi(b, a).value(), 1e-12);
+}
+
+TEST(Nmi, BoundedInUnitInterval) {
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    Labels a(30), b(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+      a[i] = rng.UniformInt(5);
+      b[i] = rng.UniformInt(5);
+    }
+    double v = Nmi(a, b).value();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Purity, HandComputed) {
+  Labels truth = {0, 0, 1, 1, 1};
+  Labels pred = {0, 0, 0, 1, 1};
+  // Cluster 0 majority 2 (class 0), cluster 1 majority 2 (class 1) -> 4/5.
+  EXPECT_NEAR(Purity(truth, pred).value(), 0.8, 1e-12);
+}
+
+TEST(Purity, PerfectIsOne) {
+  Labels y = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(Purity(y, y).value(), 1.0);
+}
+
+TEST(Ari, PerfectIsOne) {
+  Labels y = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(y, y).value(), 1.0, 1e-12);
+}
+
+TEST(Ari, RandomPartitionsNearZero) {
+  Rng rng(3);
+  double acc = 0.0;
+  const int reps = 50;
+  for (int rep = 0; rep < reps; ++rep) {
+    Labels a(100), b(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+      a[i] = rng.UniformInt(4);
+      b[i] = rng.UniformInt(4);
+    }
+    acc += AdjustedRandIndex(a, b).value();
+  }
+  EXPECT_NEAR(acc / reps, 0.0, 0.02);
+}
+
+TEST(Ari, KnownDisagreement) {
+  Labels truth = {0, 0, 1, 1};
+  Labels pred = {0, 1, 0, 1};
+  EXPECT_LT(AdjustedRandIndex(truth, pred).value(), 0.01);
+}
+
+TEST(Metrics, ErrorOnMismatchedInput) {
+  EXPECT_FALSE(FScore({0, 1}, {0}).ok());
+  EXPECT_FALSE(Nmi({}, {}).ok());
+  EXPECT_FALSE(Purity({0}, {}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({}, {0}).ok());
+}
+
+/// Property: metrics are invariant to any relabelling of the prediction.
+class RelabelInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelabelInvarianceTest, AllMetricsInvariant) {
+  Rng rng(100 + GetParam());
+  Labels truth(60), pred(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    truth[i] = rng.UniformInt(4);
+    pred[i] = rng.UniformInt(4);
+  }
+  // Random permutation of predicted ids.
+  std::vector<std::size_t> perm = {0, 1, 2, 3};
+  rng.Shuffle(&perm);
+  Labels relabelled(60);
+  for (std::size_t i = 0; i < 60; ++i) relabelled[i] = perm[pred[i]];
+
+  EXPECT_NEAR(FScore(truth, pred).value(),
+              FScore(truth, relabelled).value(), 1e-12);
+  EXPECT_NEAR(Nmi(truth, pred).value(), Nmi(truth, relabelled).value(),
+              1e-12);
+  EXPECT_NEAR(Purity(truth, pred).value(),
+              Purity(truth, relabelled).value(), 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(truth, pred).value(),
+              AdjustedRandIndex(truth, relabelled).value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelabelInvarianceTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eval
+}  // namespace rhchme

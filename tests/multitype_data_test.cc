@@ -1,0 +1,156 @@
+// Unit tests for the MultiTypeRelationalData container.
+
+#include "data/multitype_data.h"
+
+#include <gtest/gtest.h>
+
+#include "la/gemm.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace data {
+namespace {
+
+MultiTypeRelationalData ThreeTypeFixture() {
+  MultiTypeRelationalData d;
+  Rng rng(1);
+  d.AddType({"docs", 4, 2, la::Matrix::RandomUniform(4, 3, &rng), {0, 0, 1, 1}});
+  d.AddType({"terms", 3, 2, la::Matrix::RandomUniform(3, 4, &rng), {0, 1, 1}});
+  d.AddType({"concepts", 2, 2, la::Matrix::RandomUniform(2, 4, &rng), {0, 1}});
+  la::Matrix r01 = la::Matrix::FromRows(
+      {{1, 0, 0}, {0, 2, 0}, {0, 0, 3}, {4, 0, 0}});
+  la::Matrix r02 = la::Matrix::FromRows({{1, 0}, {0, 1}, {1, 0}, {0, 1}});
+  la::Matrix r12 = la::Matrix::FromRows({{5, 0}, {0, 6}, {7, 0}});
+  EXPECT_TRUE(d.SetRelation(0, 1, r01).ok());
+  EXPECT_TRUE(d.SetRelation(0, 2, r02).ok());
+  EXPECT_TRUE(d.SetRelation(1, 2, r12).ok());
+  return d;
+}
+
+TEST(MultiTypeData, CountsAndOffsets) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  EXPECT_EQ(d.NumTypes(), 3u);
+  EXPECT_EQ(d.TotalObjects(), 9u);
+  EXPECT_EQ(d.TotalClusters(), 6u);
+  EXPECT_EQ(d.TypeOffset(0), 0u);
+  EXPECT_EQ(d.TypeOffset(1), 4u);
+  EXPECT_EQ(d.TypeOffset(2), 7u);
+  EXPECT_EQ(d.ClusterOffset(1), 2u);
+  EXPECT_EQ(d.ClusterOffset(2), 4u);
+}
+
+TEST(MultiTypeData, RelationRetrievalBothOrientations) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  ASSERT_TRUE(d.HasRelation(0, 1));
+  ASSERT_TRUE(d.HasRelation(1, 0));
+  la::Matrix r01 = d.Relation(0, 1);
+  la::Matrix r10 = d.Relation(1, 0);
+  EXPECT_LT(la::MaxAbsDiff(r10, r01.Transposed()), 1e-15);
+}
+
+TEST(MultiTypeData, SetRelationTransposedOrientationIsNormalised) {
+  MultiTypeRelationalData d;
+  Rng rng(2);
+  d.AddType({"a", 2, 1, {}, {}});
+  d.AddType({"b", 3, 1, {}, {}});
+  la::Matrix r10 = la::Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  ASSERT_TRUE(d.SetRelation(1, 0, r10).ok());
+  EXPECT_LT(la::MaxAbsDiff(d.Relation(0, 1), r10.Transposed()), 1e-15);
+}
+
+TEST(MultiTypeData, SetRelationRejectsBadShapes) {
+  MultiTypeRelationalData d;
+  d.AddType({"a", 2, 1, {}, {}});
+  d.AddType({"b", 3, 1, {}, {}});
+  EXPECT_FALSE(d.SetRelation(0, 1, la::Matrix(2, 2)).ok());
+  EXPECT_FALSE(d.SetRelation(0, 0, la::Matrix(2, 2)).ok());
+  EXPECT_FALSE(d.SetRelation(0, 5, la::Matrix(2, 3)).ok());
+}
+
+TEST(MultiTypeData, JointRIsSymmetricWithZeroDiagonalBlocks) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  la::Matrix r = d.BuildJointR();
+  ASSERT_EQ(r.rows(), 9u);
+  EXPECT_LT(la::MaxAbsDiff(r, r.Transposed()), 1e-15);
+  // Diagonal blocks are zero (paper §I.A).
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::size_t o = d.TypeOffset(k);
+    const std::size_t n = d.Type(k).count;
+    EXPECT_EQ(r.Block(o, o, n, n).MaxAbs(), 0.0);
+  }
+  // Off-diagonal block matches the stored relation.
+  EXPECT_LT(la::MaxAbsDiff(r.Block(0, 4, 4, 3), d.Relation(0, 1)), 1e-15);
+  EXPECT_LT(la::MaxAbsDiff(r.Block(4, 0, 3, 4), d.Relation(1, 0)), 1e-15);
+}
+
+TEST(MultiTypeData, SparseJointREqualsDense) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  la::Matrix dense = d.BuildJointR();
+  la::SparseMatrix sparse = d.BuildJointRSparse();
+  EXPECT_LT(la::MaxAbsDiff(sparse.ToDense(), dense), 1e-15);
+  EXPECT_TRUE(sparse.IsSymmetric(1e-12));
+}
+
+TEST(MultiTypeData, JointLabels) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  std::vector<std::size_t> joint = d.JointLabels();
+  ASSERT_EQ(joint.size(), 9u);
+  EXPECT_EQ(joint[0], 0u);
+  EXPECT_EQ(joint[4], 0u);  // First term.
+  EXPECT_EQ(joint[8], 1u);  // Last concept.
+}
+
+TEST(MultiTypeData, JointLabelsEmptyWhenAnyTypeUnlabelled) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  d.MutableType(1).labels.clear();
+  EXPECT_TRUE(d.JointLabels().empty());
+}
+
+TEST(MultiTypeData, ValidatePassesOnFixture) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(MultiTypeData, ValidateCatchesProblems) {
+  {
+    MultiTypeRelationalData d;
+    EXPECT_FALSE(d.Validate().ok());  // No types.
+  }
+  {
+    MultiTypeRelationalData d = ThreeTypeFixture();
+    d.MutableType(0).clusters = 0;
+    EXPECT_FALSE(d.Validate().ok());
+  }
+  {
+    MultiTypeRelationalData d = ThreeTypeFixture();
+    d.MutableType(0).clusters = 100;  // More clusters than objects.
+    EXPECT_FALSE(d.Validate().ok());
+  }
+  {
+    MultiTypeRelationalData d = ThreeTypeFixture();
+    d.MutableType(2).labels = {0};  // Wrong label count.
+    EXPECT_FALSE(d.Validate().ok());
+  }
+  {
+    // A type with no relations cannot be co-clustered.
+    MultiTypeRelationalData d;
+    d.AddType({"a", 2, 1, {}, {}});
+    d.AddType({"b", 2, 1, {}, {}});
+    d.AddType({"c", 2, 1, {}, {}});
+    EXPECT_TRUE(d.SetRelation(0, 1, la::Matrix(2, 2, 1.0)).ok());
+    EXPECT_FALSE(d.Validate().ok());
+  }
+}
+
+TEST(MultiTypeData, FeatureShapeMismatchCaught) {
+  MultiTypeRelationalData d;
+  Rng rng(3);
+  d.AddType({"a", 4, 2, la::Matrix::RandomUniform(3, 2, &rng), {}});  // 3 != 4.
+  d.AddType({"b", 2, 1, {}, {}});
+  EXPECT_TRUE(d.SetRelation(0, 1, la::Matrix(4, 2, 1.0)).ok());
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rhchme

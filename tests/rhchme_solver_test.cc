@@ -1,0 +1,300 @@
+// Unit and property tests for the RHCHME solver (paper Algorithm 2),
+// including the Theorem 1 monotone-descent property.
+
+#include "core/rhchme_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+#include "data/corruption.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/gemm.h"
+
+namespace rhchme {
+namespace core {
+namespace {
+
+data::MultiTypeRelationalData SmallData(uint64_t seed = 21) {
+  data::BlockWorldOptions o;
+  o.objects_per_type = {24, 18, 12};
+  o.n_classes = 3;
+  o.seed = seed;
+  return data::GenerateBlockWorld(o).value();
+}
+
+RhchmeOptions FastOptions() {
+  RhchmeOptions opts;
+  opts.max_iterations = 25;
+  opts.lambda = 1.0;
+  opts.beta = 50.0;
+  opts.ensemble.subspace.spg.max_iterations = 20;
+  return opts;
+}
+
+TEST(RhchmeOptions, Validation) {
+  EXPECT_TRUE(FastOptions().Validate().ok());
+  RhchmeOptions o = FastOptions();
+  o.lambda = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FastOptions();
+  o.beta = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FastOptions();
+  o.max_iterations = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FastOptions();
+  o.ensemble.include_knn = false;
+  o.ensemble.include_subspace = false;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(Rhchme, ProducesValidResult) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const fact::HoccResult& h = r.value().hocc;
+  EXPECT_TRUE(h.g.AllFinite());
+  EXPECT_TRUE(h.g.IsNonNegative());
+  EXPECT_EQ(h.g.rows(), 54u);
+  EXPECT_EQ(h.g.cols(), 9u);
+  ASSERT_EQ(h.labels.size(), 3u);
+  EXPECT_EQ(h.labels[0].size(), 24u);
+  EXPECT_GT(h.iterations, 0);
+  EXPECT_FALSE(h.objective_trace.empty());
+  EXPECT_GT(h.seconds, 0.0);
+  EXPECT_EQ(r.value().error_matrix.rows(), 54u);
+}
+
+TEST(Rhchme, MembershipRowsAreL1Normalised) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const la::Matrix& g = r.value().hocc.g;
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = b.type_offset[k]; i < b.type_offset[k + 1]; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = b.cluster_offset[k]; j < b.cluster_offset[k + 1];
+           ++j) {
+        sum += g(i, j);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+    }
+  }
+}
+
+TEST(Rhchme, BlockStructurePreserved) {
+  // G block-diagonal; S zero diagonal blocks (paper §I.A structure).
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  const la::Matrix& g = r.value().hocc.g;
+  const la::Matrix& s = r.value().hocc.s;
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = b.type_offset[k]; i < b.type_offset[k + 1]; ++i) {
+      for (std::size_t j = 0; j < g.cols(); ++j) {
+        const bool inside =
+            j >= b.cluster_offset[k] && j < b.cluster_offset[k + 1];
+        if (!inside) {
+          EXPECT_EQ(g(i, j), 0.0);
+        }
+      }
+    }
+    la::Matrix s_block =
+        s.Block(b.cluster_offset[k], b.cluster_offset[k], b.clusters(k),
+                b.clusters(k));
+    EXPECT_LT(s_block.MaxAbs(), 1e-8) << "S diagonal block " << k;
+  }
+}
+
+/// Theorem 1: the objective decreases monotonically under the S, G, E_R
+/// updates (the row-normalisation step is outside the theorem; disable it).
+class Theorem1Test
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Theorem1Test, ObjectiveMonotonicallyDecreases) {
+  auto [lambda, beta] = GetParam();
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.lambda = lambda;
+  opts.beta = beta;
+  opts.normalize_rows = false;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;  // Run all iterations.
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const auto& trace = r.value().hocc.objective_trace;
+  ASSERT_GE(trace.size(), 5u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] * (1.0 + 1e-7))
+        << "objective rose at iteration " << i << " (lambda=" << lambda
+        << ", beta=" << beta << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaBetaGrid, Theorem1Test,
+    ::testing::Values(std::make_tuple(0.0, 10.0), std::make_tuple(1.0, 10.0),
+                      std::make_tuple(10.0, 10.0),
+                      std::make_tuple(1.0, 1000.0),
+                      std::make_tuple(100.0, 100.0)));
+
+TEST(Rhchme, ErrorMatrixLocalisesOnCorruptedRows) {
+  // Corrupt a handful of document rows of R and check that E_R carries
+  // more mass on those rows than on clean ones (the L2,1 sample-wise
+  // noise model, paper Eq. 13/14).
+  data::MultiTypeRelationalData d = SmallData(33);
+  la::Matrix r01 = d.Relation(0, 1);
+  la::Matrix r02 = d.Relation(0, 2);
+  Rng rng(3);
+  data::RowCorruptionOptions corr;
+  corr.row_fraction = 0.15;
+  corr.magnitude = 8.0;
+  corr.entry_fraction = 0.8;
+  std::vector<std::size_t> bad = data::CorruptRows(&r01, corr, &rng);
+  ASSERT_TRUE(d.SetRelation(0, 1, r01).ok());
+  ASSERT_TRUE(d.SetRelation(0, 2, r02).ok());
+
+  RhchmeOptions opts = FastOptions();
+  opts.beta = 30.0;
+  opts.max_iterations = 20;
+  Rhchme solver(opts);
+  Result<RhchmeResult> res = solver.Fit(d);
+  ASSERT_TRUE(res.ok());
+  const la::Matrix& e = res.value().error_matrix;
+
+  double bad_mass = 0.0, clean_mass = 0.0;
+  std::size_t n_bad = 0, n_clean = 0;
+  for (std::size_t i = 0; i < 24; ++i) {  // Document rows.
+    double row_norm = 0.0;
+    for (std::size_t j = 0; j < e.cols(); ++j) row_norm += e(i, j) * e(i, j);
+    row_norm = std::sqrt(row_norm);
+    if (std::find(bad.begin(), bad.end(), i) != bad.end()) {
+      bad_mass += row_norm;
+      ++n_bad;
+    } else {
+      clean_mass += row_norm;
+      ++n_clean;
+    }
+  }
+  ASSERT_GT(n_bad, 0u);
+  EXPECT_GT(bad_mass / n_bad, 2.0 * clean_mass / n_clean);
+}
+
+TEST(Rhchme, CallbackSeesEveryIteration) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 7;
+  opts.tolerance = 0.0;
+  Rhchme solver(opts);
+  std::vector<int> seen;
+  solver.SetIterationCallback([&seen](int it, const la::Matrix& g) {
+    seen.push_back(it);
+    EXPECT_GT(g.rows(), 0u);
+  });
+  ASSERT_TRUE(solver.Fit(d).ok());
+  ASSERT_EQ(seen.size(), 7u);
+  EXPECT_EQ(seen.front(), 1);
+  EXPECT_EQ(seen.back(), 7);
+}
+
+TEST(Rhchme, FitWithEnsembleMatchesFit) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  Rhchme solver(opts);
+  Result<RhchmeResult> direct = solver.Fit(d);
+  ASSERT_TRUE(direct.ok());
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts.ensemble);
+  ASSERT_TRUE(e.ok());
+  Result<RhchmeResult> staged = solver.FitWithEnsemble(d, e.value());
+  ASSERT_TRUE(staged.ok());
+  EXPECT_LT(la::MaxAbsDiff(direct.value().hocc.g, staged.value().hocc.g),
+            1e-12);
+}
+
+TEST(Rhchme, DeterministicGivenSeed) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> a = solver.Fit(d);
+  Result<RhchmeResult> b = solver.Fit(d);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(la::MaxAbsDiff(a.value().hocc.g, b.value().hocc.g), 0.0);
+  EXPECT_EQ(a.value().hocc.objective_trace, b.value().hocc.objective_trace);
+}
+
+TEST(Rhchme, RecoversPlantedClusters) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  Result<double> f =
+      eval::FScore(d.Type(0).labels, r.value().hocc.labels[0]);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f.value(), 0.9);
+}
+
+TEST(Rhchme, DisablingErrorMatrixLeavesItEmpty) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.use_error_matrix = false;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().error_matrix.empty());
+}
+
+TEST(Rhchme, ConvergesBeforeIterationCapOnEasyData) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-4;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().hocc.converged);
+  EXPECT_LT(r.value().hocc.iterations, 200);
+}
+
+TEST(Rhchme, RandomInitAlsoWorks) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.init = fact::MembershipInit::kRandom;
+  opts.seed = 4;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().hocc.g.AllFinite());
+}
+
+TEST(RhchmeObjective, MatchesManualEvaluation) {
+  Rng rng(5);
+  const std::size_t n = 10, c = 3;
+  la::Matrix r = la::Matrix::RandomUniform(n, n, &rng);
+  la::Matrix g = la::Matrix::RandomUniform(n, c, &rng);
+  la::Matrix s = la::Matrix::RandomNormal(c, c, &rng);
+  la::Matrix e = la::Matrix::RandomUniform(n, n, &rng, 0.0, 0.1);
+  la::Matrix lap = la::Matrix::Identity(n);
+  la::Matrix resid = la::MultiplyNT(la::Multiply(g, s), g);
+  resid.Scale(-1.0);
+  resid.Add(r);
+  resid.Sub(e);
+  const double expected =
+      resid.FrobeniusNormSquared() + 2.0 * e.L21Norm() +
+      3.0 * la::FrobeniusInner(la::Multiply(lap, g), g);
+  EXPECT_NEAR(RhchmeObjective(r, g, s, e, lap, 3.0, 2.0), expected, 1e-8);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rhchme

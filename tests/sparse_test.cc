@@ -1,0 +1,149 @@
+// Unit tests for the CSR SparseMatrix.
+
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "la/gemm.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace la {
+namespace {
+
+TEST(Sparse, EmptyMatrix) {
+  SparseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.Density(), 0.0);
+}
+
+TEST(Sparse, FromTripletsBasic) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 4, {{0, 1, 2.0}, {2, 3, -1.0}, {1, 0, 5.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(2, 3), -1.0);
+  EXPECT_EQ(m.At(1, 0), 5.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(Sparse, DuplicatesAreSummed) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(Sparse, ZerosArePruned) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, -1.0}, {1, 1, 0.0}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(Sparse, DenseRoundTrip) {
+  Rng rng(1);
+  Matrix dense = Matrix::RandomUniform(6, 9, &rng);
+  // Sparsify a bit.
+  dense.Apply([](double v) { return v < 0.6 ? 0.0 : v; });
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_LT(MaxAbsDiff(sparse.ToDense(), dense), 1e-15);
+}
+
+TEST(Sparse, FromDenseWithPruneTolerance) {
+  Matrix dense = Matrix::FromRows({{0.5, 0.01}, {0.0, 2.0}});
+  SparseMatrix sparse = SparseMatrix::FromDense(dense, 0.1);
+  EXPECT_EQ(sparse.nnz(), 2u);
+  EXPECT_EQ(sparse.At(0, 1), 0.0);
+}
+
+TEST(Sparse, Density) {
+  SparseMatrix m = SparseMatrix::FromTriplets(4, 5, {{0, 0, 1.0}, {3, 4, 1.0}});
+  EXPECT_DOUBLE_EQ(m.Density(), 2.0 / 20.0);
+}
+
+TEST(Sparse, TransposeMatchesDense) {
+  Rng rng(2);
+  Matrix dense = Matrix::RandomUniform(5, 8, &rng);
+  dense.Apply([](double v) { return v < 0.5 ? 0.0 : v; });
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_LT(MaxAbsDiff(sparse.Transposed().ToDense(), dense.Transposed()),
+            1e-15);
+}
+
+TEST(Sparse, MultiplyVecMatchesDense) {
+  Rng rng(3);
+  Matrix dense = Matrix::RandomUniform(7, 4, &rng);
+  dense.Apply([](double v) { return v < 0.4 ? 0.0 : v; });
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  std::vector<double> x = {1.0, -2.0, 0.5, 3.0};
+  std::vector<double> expected = MultiplyVec(dense, x);
+  std::vector<double> got = sparse.MultiplyVec(x);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Sparse, MultiplyDenseMatchesDense) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomUniform(6, 5, &rng);
+  a.Apply([](double v) { return v < 0.5 ? 0.0 : v; });
+  Matrix b = Matrix::RandomNormal(5, 3, &rng);
+  SparseMatrix sparse = SparseMatrix::FromDense(a);
+  EXPECT_LT(MaxAbsDiff(sparse.MultiplyDense(b), Multiply(a, b)), 1e-12);
+}
+
+TEST(Sparse, MultiplyTransposedDenseMatchesDense) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomUniform(6, 5, &rng);
+  a.Apply([](double v) { return v < 0.5 ? 0.0 : v; });
+  Matrix b = Matrix::RandomNormal(6, 2, &rng);
+  SparseMatrix sparse = SparseMatrix::FromDense(a);
+  Matrix got;
+  sparse.MultiplyTransposedDenseInto(b, &got);
+  EXPECT_LT(MaxAbsDiff(got, Multiply(a.Transposed(), b)), 1e-12);
+}
+
+TEST(Sparse, RowSumsMatchDense) {
+  Rng rng(6);
+  Matrix dense = Matrix::RandomUniform(5, 5, &rng);
+  SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  std::vector<double> expected = dense.RowSums();
+  std::vector<double> got = sparse.RowSums();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(got[i], expected[i], 1e-12);
+}
+
+TEST(Sparse, NormAndSum) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 3.0}, {1, 1, 4.0}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 7.0);
+}
+
+TEST(Sparse, SymmetryCheck) {
+  SparseMatrix sym = SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 2.0}, {2, 2, 1.0}});
+  EXPECT_TRUE(sym.IsSymmetric());
+  SparseMatrix asym = SparseMatrix::FromTriplets(3, 3, {{0, 1, 2.0}});
+  EXPECT_FALSE(asym.IsSymmetric());
+  SparseMatrix rect = SparseMatrix::FromTriplets(2, 3, {});
+  EXPECT_FALSE(rect.IsSymmetric());
+}
+
+TEST(Sparse, UnsortedTripletsAreOrdered) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{2, 2, 1.0}, {0, 2, 2.0}, {0, 0, 3.0}, {1, 1, 4.0}});
+  // CSR row offsets must be monotone and consistent.
+  const auto& offsets = m.row_offsets();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[3], 4u);
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i], offsets[i + 1]);
+  }
+  EXPECT_EQ(m.At(0, 0), 3.0);
+  EXPECT_EQ(m.At(0, 2), 2.0);
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,253 @@
+// Unit and property tests for multiple-subspace affinity learning
+// (paper §III.A, Algorithm 1).
+
+#include "core/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/manifolds.h"
+#include "la/gemm.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace core {
+namespace {
+
+TEST(ProjectFeasible, ClampsAndZeroesDiagonal) {
+  la::Matrix w = la::Matrix::FromRows({{5, -1}, {2, 3}});
+  ProjectFeasible(&w);
+  EXPECT_EQ(w(0, 0), 0.0);
+  EXPECT_EQ(w(1, 1), 0.0);
+  EXPECT_EQ(w(0, 1), 0.0);
+  EXPECT_EQ(w(1, 0), 2.0);
+}
+
+TEST(SubspaceObjective, MatchesDirectEvaluation) {
+  Rng rng(1);
+  la::Matrix x = la::Matrix::RandomUniform(8, 5, &rng);
+  la::Matrix w = la::Matrix::RandomUniform(8, 8, &rng, 0.0, 0.2);
+  ProjectFeasible(&w);
+  const la::Matrix gram = la::MultiplyNT(x, x);
+  // Direct: gamma*||X - WX||² + ||WWᵀ||₁ (nonneg W -> plain sum).
+  la::Matrix resid = la::Multiply(w, x);
+  resid.Sub(x);
+  resid.Scale(-1.0);
+  const double direct =
+      3.0 * resid.FrobeniusNormSquared() + la::MultiplyNT(w, w).Sum();
+  EXPECT_NEAR(SubspaceObjective(w, gram, 3.0), direct, 1e-8);
+}
+
+TEST(LearnSubspace, OutputSatisfiesConstraints) {
+  Rng rng(2);
+  la::Matrix x = la::Matrix::RandomUniform(30, 10, &rng);
+  SubspaceOptions opts;
+  Result<SubspaceResult> r = LearnSubspaceAffinity(x, opts);
+  ASSERT_TRUE(r.ok());
+  const la::Matrix& w = r.value().affinity;
+  EXPECT_EQ(w.rows(), 30u);
+  EXPECT_TRUE(w.IsNonNegative());
+  EXPECT_TRUE(w.AllFinite());
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(w(i, i), 0.0);
+  // Symmetrised by default.
+  EXPECT_LT(la::MaxAbsDiff(w, w.Transposed()), 1e-12);
+}
+
+TEST(LearnSubspace, ObjectiveDecreasesMonotonically) {
+  // The exact line search on the convex QP guarantees descent.
+  Rng rng(3);
+  la::Matrix x = la::Matrix::RandomUniform(25, 8, &rng);
+  SubspaceOptions opts;
+  opts.spg.max_iterations = 40;
+  Result<SubspaceResult> r = LearnSubspaceAffinity(x, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& trace = r.value().objective_trace;
+  ASSERT_GE(trace.size(), 2u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] + 1e-8) << "iteration " << i;
+  }
+}
+
+TEST(LearnSubspace, ConnectsWithinSubspaceObjects) {
+  // Points from two disjoint linear subspaces: the affinity mass must
+  // concentrate within subspaces (paper Eq. 5).
+  data::UnionOfSubspacesOptions gen;
+  gen.subspace_dims = {2, 2};
+  gen.points_per_subspace = 40;
+  gen.ambient_dim = 12;
+  gen.noise_sigma = 0.01;
+  gen.seed = 5;
+  Result<data::ManifoldSample> sample = data::SampleUnionOfSubspaces(gen);
+  ASSERT_TRUE(sample.ok());
+
+  SubspaceOptions opts;
+  opts.gamma = 20.0;
+  Result<SubspaceResult> r =
+      LearnSubspaceAffinity(sample.value().points, opts);
+  ASSERT_TRUE(r.ok());
+  const la::Matrix& w = r.value().affinity;
+  double within = 0.0, across = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      if (sample.value().labels[i] == sample.value().labels[j]) {
+        within += w(i, j);
+      } else {
+        across += w(i, j);
+      }
+    }
+  }
+  EXPECT_GT(within, 3.0 * across);
+}
+
+TEST(LearnSubspace, FindsDistantWithinManifoldNeighbours) {
+  // The headline claim of §III.A (point z in Fig. 1): objects far apart
+  // in Euclidean distance but in the same subspace get nonzero affinity.
+  data::UnionOfSubspacesOptions gen;
+  gen.subspace_dims = {1, 1};
+  gen.points_per_subspace = 30;
+  gen.ambient_dim = 6;
+  gen.noise_sigma = 0.0;
+  gen.nonnegative = true;  // Coefficients 0.2..1.2 -> magnitude spread.
+  gen.seed = 11;
+  Result<data::ManifoldSample> sample = data::SampleUnionOfSubspaces(gen);
+  ASSERT_TRUE(sample.ok());
+
+  SubspaceOptions opts;
+  opts.gamma = 50.0;
+  Result<SubspaceResult> r =
+      LearnSubspaceAffinity(sample.value().points, opts);
+  ASSERT_TRUE(r.ok());
+  const la::Matrix& w = r.value().affinity;
+
+  // Pick the two most Euclidean-distant points of subspace 0; they are
+  // colinear, so the affinity must still connect them (possibly via
+  // normalisation the direction is identical).
+  const la::Matrix& pts = sample.value().points;
+  double best = -1.0;
+  std::size_t a = 0, b = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = i + 1; j < 30; ++j) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) {
+        const double diff = pts(i, k) - pts(j, k);
+        d += diff * diff;
+      }
+      if (d > best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  EXPECT_GT(w(a, b), 0.0);
+}
+
+TEST(LearnSubspace, TopKSparsification) {
+  Rng rng(6);
+  la::Matrix x = la::Matrix::RandomUniform(20, 6, &rng);
+  SubspaceOptions opts;
+  opts.keep_top_k = 3;
+  opts.symmetrize = false;
+  Result<SubspaceResult> r = LearnSubspaceAffinity(x, opts);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < 20; ++i) {
+    std::size_t nonzeros = 0;
+    for (std::size_t j = 0; j < 20; ++j) {
+      if (r.value().affinity(i, j) > 0.0) ++nonzeros;
+    }
+    EXPECT_LE(nonzeros, 3u) << "row " << i;
+  }
+}
+
+TEST(LearnSubspace, GammaControlsReconstructionPressure) {
+  Rng rng(7);
+  la::Matrix x = la::Matrix::RandomUniform(20, 6, &rng);
+  auto residual_for = [&](double gamma) {
+    SubspaceOptions opts;
+    opts.gamma = gamma;
+    opts.symmetrize = false;
+    la::Matrix w = LearnSubspaceAffinity(x, opts).value().affinity;
+    la::Matrix resid = la::Multiply(w, x);
+    resid.Sub(x);
+    return resid.FrobeniusNormSquared();
+  };
+  // Larger gamma forces a more faithful reconstruction.
+  EXPECT_LT(residual_for(100.0), residual_for(0.5));
+}
+
+TEST(LearnSubspace, ValidationErrors) {
+  la::Matrix x(10, 3, 1.0);
+  SubspaceOptions opts;
+  opts.gamma = 0.0;
+  EXPECT_FALSE(LearnSubspaceAffinity(x, opts).ok());
+  opts = SubspaceOptions{};
+  opts.spg.max_iterations = 0;
+  EXPECT_FALSE(LearnSubspaceAffinity(x, opts).ok());
+  opts = SubspaceOptions{};
+  EXPECT_FALSE(LearnSubspaceAffinity(la::Matrix(1, 3), opts).ok());
+}
+
+TEST(LearnSubspace, AffinePenaltyPullsRowSumsToOne) {
+  Rng rng(9);
+  la::Matrix x = la::Matrix::RandomUniform(24, 6, &rng);
+  auto mean_row_sum_error = [&](double eta) {
+    SubspaceOptions opts;
+    opts.affine_penalty = eta;
+    opts.symmetrize = false;
+    opts.spg.max_iterations = 60;
+    la::Matrix w = LearnSubspaceAffinity(x, opts).value().affinity;
+    double err = 0.0;
+    for (double rs : w.RowSums()) err += std::fabs(rs - 1.0);
+    return err / static_cast<double>(w.rows());
+  };
+  // Eq. 6's sum-to-one constraint is approached as the penalty grows.
+  EXPECT_LT(mean_row_sum_error(100.0), mean_row_sum_error(0.0));
+  EXPECT_LT(mean_row_sum_error(100.0), 0.2);
+}
+
+TEST(LearnSubspace, AffinePenaltyKeepsDescentProperty) {
+  Rng rng(10);
+  la::Matrix x = la::Matrix::RandomUniform(20, 5, &rng);
+  SubspaceOptions opts;
+  opts.affine_penalty = 25.0;
+  opts.spg.max_iterations = 30;
+  Result<SubspaceResult> r = LearnSubspaceAffinity(x, opts);
+  ASSERT_TRUE(r.ok());
+  const auto& trace = r.value().objective_trace;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] + 1e-8);
+  }
+}
+
+TEST(LearnSubspace, NegativeAffinePenaltyRejected) {
+  SubspaceOptions opts;
+  opts.affine_penalty = -1.0;
+  EXPECT_FALSE(LearnSubspaceAffinity(la::Matrix(5, 3, 1.0), opts).ok());
+}
+
+class SubspaceGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SubspaceGammaSweep, AlwaysFeasibleAndDescending) {
+  Rng rng(8);
+  la::Matrix x = la::Matrix::RandomUniform(18, 5, &rng);
+  SubspaceOptions opts;
+  opts.gamma = GetParam();
+  opts.spg.max_iterations = 25;
+  Result<SubspaceResult> r = LearnSubspaceAffinity(x, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().affinity.IsNonNegative());
+  EXPECT_TRUE(r.value().affinity.AllFinite());
+  const auto& trace = r.value().objective_trace;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] + 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, SubspaceGammaSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0,
+                                           1000.0));
+
+}  // namespace
+}  // namespace core
+}  // namespace rhchme

@@ -1,0 +1,72 @@
+// Unit tests for the table/CSV writer.
+
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rhchme {
+namespace {
+
+TEST(TablePrinter, AlignedTextOutput) {
+  TablePrinter t("Title", {"Method", "F"});
+  t.AddRow({"RHCHME", "0.892"});
+  t.AddRow({"SRC", "0.837"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("Method"), std::string::npos);
+  EXPECT_NE(text.find("RHCHME"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAreAligned) {
+  TablePrinter t("T", {"A", "B"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  std::string text = t.ToText();
+  // Both data lines must have the separator at the same offset.
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::size_t> positions;
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find('|');
+    if (pos != std::string::npos) positions.push_back(pos);
+  }
+  ASSERT_GE(positions.size(), 3u);
+  for (std::size_t p : positions) EXPECT_EQ(p, positions[0]);
+}
+
+TEST(TablePrinter, FmtFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::Fmt(0.8923, 3), "0.892");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 1), "1.0");
+  EXPECT_EQ(TablePrinter::Fmt(-2.5, 2), "-2.50");
+}
+
+TEST(TablePrinter, CsvRoundTrip) {
+  TablePrinter t("T", {"a", "b"});
+  t.AddRow({"1", "hello, world"});
+  t.AddRow({"2", "quote\"inside"});
+  const std::string path = "/tmp/rhchme_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinter, CsvRejectsBadPath) {
+  TablePrinter t("T", {"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace rhchme
