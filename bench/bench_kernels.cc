@@ -2,18 +2,43 @@
 // solvers (Table V's costs decompose into exactly these pieces):
 // GEMM variants, pNN graph construction, Laplacian assembly, one SPG step
 // worth of work, one multiplicative-update iteration, and k-means.
+//
+// Flop-counted benchmarks report a GFLOP/s rate counter, and every
+// benchmark reports the pool size as a `threads` counter so perf runs are
+// comparable across machines and RHCHME_NUM_THREADS settings. In addition
+// to the console table, results are written to BENCH_kernels.json
+// (google-benchmark's JSON schema) so successive PRs can diff the perf
+// trajectory; pass --benchmark_out=<path> to redirect.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "rhchme/rhchme.h"
+#include "util/parallel.h"
 
 namespace {
 
 using namespace rhchme;  // NOLINT — bench binary.
 
+constexpr char kJsonOutPath[] = "BENCH_kernels.json";
+
 la::Matrix RandomMatrix(std::size_t r, std::size_t c, uint64_t seed) {
   Rng rng(seed);
   return la::Matrix::RandomUniform(r, c, &rng);
+}
+
+/// Attaches the shared counters: flops/iteration as a GFLOP/s rate and the
+/// thread-pool size the run used.
+void SetKernelCounters(benchmark::State& state, double flops_per_iteration) {
+  if (flops_per_iteration > 0.0) {
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        flops_per_iteration, benchmark::Counter::kIsIterationInvariantRate,
+        benchmark::Counter::kIs1000);
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(util::NumThreads()));
 }
 
 void BM_GemmNN(benchmark::State& state) {
@@ -25,9 +50,12 @@ void BM_GemmNN(benchmark::State& state) {
     la::MultiplyInto(a, b, &c);
     benchmark::DoNotOptimize(c.data());
   }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetKernelCounters(state, flops);
 }
-BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmNN)->UseRealTime()->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Arg(2048)->Unit(benchmark::kMillisecond);
 
 void BM_GemmTallSkinny(benchmark::State& state) {
   // The solver's dominant product shape: (n x n) · (n x c).
@@ -40,19 +68,39 @@ void BM_GemmTallSkinny(benchmark::State& state) {
     la::MultiplyInto(m, g, &out);
     benchmark::DoNotOptimize(out.data());
   }
+  const double flops = 2.0 * static_cast<double>(n) * n * c;
   state.SetItemsProcessed(state.iterations() * 2 * n * n * c);
+  SetKernelCounters(state, flops);
 }
-BENCHMARK(BM_GemmTallSkinny)->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK(BM_GemmTallSkinny)->UseRealTime()->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_Gram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  la::Matrix g = RandomMatrix(n, 30, 5);
+  const std::size_t c = 30;
+  la::Matrix g = RandomMatrix(n, c, 5);
   for (auto _ : state) {
     la::Matrix gtg = la::Gram(g);
     benchmark::DoNotOptimize(gtg.data());
   }
+  // Upper triangle of a c x c result, each entry an n-length dot.
+  SetKernelCounters(state, static_cast<double>(n) * c * (c + 1));
 }
-BENCHMARK(BM_Gram)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Gram)->UseRealTime()->Arg(256)->Arg(1024);
+
+void BM_Sandwich(benchmark::State& state) {
+  // tr(Gᵀ L G) — the ensemble-regulariser term of the objective.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  la::Matrix g = RandomMatrix(n, c, 13);
+  la::Matrix l = RandomMatrix(n, n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Sandwich(g, l));
+  }
+  SetKernelCounters(state,
+                    2.0 * static_cast<double>(n) * n * c +
+                        2.0 * static_cast<double>(n) * c);
+}
+BENCHMARK(BM_Sandwich)->UseRealTime()->Arg(256)->Arg(1024);
 
 void BM_KnnGraph(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -62,8 +110,10 @@ void BM_KnnGraph(benchmark::State& state) {
     auto g = graph::BuildKnnGraph(pts, opts);
     benchmark::DoNotOptimize(g.value().nnz());
   }
+  // Pairwise distances dominate: n(n-1)/2 dots of length 64.
+  SetKernelCounters(state, static_cast<double>(n) * (n - 1) * 64);
 }
-BENCHMARK(BM_KnnGraph)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_KnnGraph)->UseRealTime()->Arg(128)->Arg(256)->Arg(512);
 
 void BM_Laplacian(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -74,8 +124,9 @@ void BM_Laplacian(benchmark::State& state) {
     auto l = graph::BuildLaplacian(w, graph::LaplacianKind::kSymmetric);
     benchmark::DoNotOptimize(l.value().data());
   }
+  SetKernelCounters(state, 0.0);
 }
-BENCHMARK(BM_Laplacian)->Arg(128)->Arg(512);
+BENCHMARK(BM_Laplacian)->UseRealTime()->Arg(128)->Arg(512);
 
 void BM_SubspaceLearning(benchmark::State& state) {
   // Full Algorithm 1 on an n-object type (30 SPG iterations).
@@ -87,8 +138,9 @@ void BM_SubspaceLearning(benchmark::State& state) {
     auto r = core::LearnSubspaceAffinity(x, opts);
     benchmark::DoNotOptimize(r.value().affinity.data());
   }
+  SetKernelCounters(state, 0.0);
 }
-BENCHMARK(BM_SubspaceLearning)->Arg(64)->Arg(128)->Arg(256)
+BENCHMARK(BM_SubspaceLearning)->UseRealTime()->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MultiplicativeIteration(benchmark::State& state) {
@@ -108,8 +160,10 @@ void BM_MultiplicativeIteration(benchmark::State& state) {
                                 1e-12, &g);
     benchmark::DoNotOptimize(g.data());
   }
+  // Dominated by the n² x c products: M G, Mᵀ G, and the Laplacian terms.
+  SetKernelCounters(state, 8.0 * static_cast<double>(n) * n * c);
 }
-BENCHMARK(BM_MultiplicativeIteration)->Arg(256)->Arg(512)->Arg(1024)
+BENCHMARK(BM_MultiplicativeIteration)->UseRealTime()->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
 void BM_KMeans(benchmark::State& state) {
@@ -123,8 +177,9 @@ void BM_KMeans(benchmark::State& state) {
     auto r = cluster::KMeans(pts, opts, &rng);
     benchmark::DoNotOptimize(r.value().inertia);
   }
+  SetKernelCounters(state, 0.0);
 }
-BENCHMARK(BM_KMeans)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KMeans)->UseRealTime()->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void BM_EigenSym(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -135,10 +190,34 @@ void BM_EigenSym(benchmark::State& state) {
     auto r = la::EigenSym(a);
     benchmark::DoNotOptimize(r.value().eigenvalues.data());
   }
+  SetKernelCounters(state, 0.0);
 }
-BENCHMARK(BM_EigenSym)->Arg(32)->Arg(64)->Arg(128)
+BENCHMARK(BM_EigenSym)->UseRealTime()->Arg(32)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: mirror the console report into BENCH_kernels.json (in the
+// working directory) so perf runs leave a machine-readable artefact. A
+// caller-supplied --benchmark_out takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + kJsonOutPath;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

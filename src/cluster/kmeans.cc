@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.h"
+
 namespace rhchme {
 namespace cluster {
 namespace {
@@ -25,10 +27,15 @@ la::Matrix SeedPlusPlus(const la::Matrix& points, std::size_t k, Rng* rng) {
 
   std::vector<double> dist2(n, std::numeric_limits<double>::max());
   for (std::size_t c = 1; c < k; ++c) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double v = SquaredDistance(points.row_ptr(i), centroids.row_ptr(c - 1), d);
-      if (v < dist2[i]) dist2[i] = v;
-    }
+    // D² refresh against the newest centre; rows are independent.
+    util::ParallelFor(0, n, util::GrainForWork(2 * d + 1),
+                      [&](std::size_t r0, std::size_t r1) {
+                        for (std::size_t i = r0; i < r1; ++i) {
+                          double v = SquaredDistance(
+                              points.row_ptr(i), centroids.row_ptr(c - 1), d);
+                          if (v < dist2[i]) dist2[i] = v;
+                        }
+                      });
     double total = 0.0;
     for (double v : dist2) total += v;
     std::size_t chosen;
@@ -53,25 +60,35 @@ LloydOutcome RunLloyd(const la::Matrix& points, la::Matrix centroids,
                       const KMeansOptions& opts, Rng* rng) {
   const std::size_t n = points.rows(), d = points.cols(), k = opts.k;
   std::vector<std::size_t> assign(n, 0);
+  std::vector<double> best_dist(n, 0.0);
   double prev_inertia = std::numeric_limits<double>::max();
   double inertia = prev_inertia;
   int it = 0;
   for (; it < opts.max_iterations; ++it) {
-    // Assignment step.
+    // Assignment step: each point's nearest centre is independent, so the
+    // scan parallelises over rows. Per-point best distances are staged in
+    // best_dist and summed serially in row order afterwards, which keeps
+    // the inertia bit-identical for any thread count.
+    util::ParallelFor(
+        0, n, util::GrainForWork(2 * d * k + 1),
+        [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+              double v =
+                  SquaredDistance(points.row_ptr(i), centroids.row_ptr(c), d);
+              if (v < best) {
+                best = v;
+                best_c = c;
+              }
+            }
+            assign[i] = best_c;
+            best_dist[i] = best;
+          }
+        });
     inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        double v = SquaredDistance(points.row_ptr(i), centroids.row_ptr(c), d);
-        if (v < best) {
-          best = v;
-          best_c = c;
-        }
-      }
-      assign[i] = best_c;
-      inertia += best;
-    }
+    for (std::size_t i = 0; i < n; ++i) inertia += best_dist[i];
     // Update step; empty clusters are re-seeded on a random point.
     centroids.Fill(0.0);
     std::vector<std::size_t> count(k, 0);

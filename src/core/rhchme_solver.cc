@@ -4,6 +4,7 @@
 
 #include "la/gemm.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace rhchme {
@@ -33,7 +34,8 @@ double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
   }
   double smooth = 0.0;
   if (lambda != 0.0) {
-    smooth = la::FrobeniusInner(la::Multiply(laplacian, g), g);
+    // tr(Gᵀ L G) without materialising the n x c product L G.
+    smooth = la::Sandwich(g, laplacian);
   }
   return residual.FrobeniusNormSquared() + beta * l21 + lambda * smooth;
 }
@@ -105,17 +107,22 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
       q.Scale(-1.0);
       q.Add(r);  // Q = R - G S Gᵀ
       // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
-      // 1 / (beta/(2||q_i|| + zeta) + 1).
-      for (std::size_t i = 0; i < n; ++i) {
-        const double* qi = q.row_ptr(i);
-        double norm_sq = 0.0;
-        for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
-        const double d_ii =
-            1.0 / (2.0 * std::sqrt(norm_sq) + opts_.l21_zeta);
-        const double scale = 1.0 / (opts_.beta * d_ii + 1.0);
-        double* ei = error.row_ptr(i);
-        for (std::size_t j = 0; j < n; ++j) ei[j] = scale * qi[j];
-      }
+      // 1 / (beta/(2||q_i|| + zeta) + 1). Rows are independent, so the
+      // reweighting runs as parallel row chunks.
+      util::ParallelFor(
+          0, n, util::GrainForWork(4 * n + 1),
+          [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+              const double* qi = q.row_ptr(i);
+              double norm_sq = 0.0;
+              for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
+              const double d_ii =
+                  1.0 / (2.0 * std::sqrt(norm_sq) + opts_.l21_zeta);
+              const double scale = 1.0 / (opts_.beta * d_ii + 1.0);
+              double* ei = error.row_ptr(i);
+              for (std::size_t j = 0; j < n; ++j) ei[j] = scale * qi[j];
+            }
+          });
     }
 
     // ---- Objective bookkeeping and convergence -------------------------

@@ -6,6 +6,7 @@
 #include "cluster/kmeans.h"
 #include "la/gemm.h"
 #include "la/solve.h"
+#include "util/parallel.h"
 
 namespace rhchme {
 namespace fact {
@@ -34,15 +35,19 @@ Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
       // reflects direction (content) rather than magnitude — otherwise
       // corrupted high-norm rows capture the k-means++ centroids.
       la::Matrix unit = type.features;
-      for (std::size_t i = 0; i < unit.rows(); ++i) {
-        double* r = unit.row_ptr(i);
-        double norm = 0.0;
-        for (std::size_t j = 0; j < unit.cols(); ++j) norm += r[j] * r[j];
-        if (norm > 0.0) {
-          const double inv = 1.0 / std::sqrt(norm);
-          for (std::size_t j = 0; j < unit.cols(); ++j) r[j] *= inv;
-        }
-      }
+      util::ParallelFor(
+          0, unit.rows(), util::GrainForWork(4 * unit.cols() + 1),
+          [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+              double* r = unit.row_ptr(i);
+              double norm = 0.0;
+              for (std::size_t j = 0; j < unit.cols(); ++j) norm += r[j] * r[j];
+              if (norm > 0.0) {
+                const double inv = 1.0 / std::sqrt(norm);
+                for (std::size_t j = 0; j < unit.cols(); ++j) r[j] *= inv;
+              }
+            }
+          });
       cluster::KMeansOptions kopts;
       kopts.k = type.clusters;
       kopts.restarts = 2;
@@ -117,28 +122,36 @@ void RatioUpdate(const la::Matrix& num, const la::Matrix& den, double eps,
   const double* pn = num.data();
   const double* pd = den.data();
   double* pg = g->data();
-  for (std::size_t i = 0; i < g->size(); ++i) {
-    const double n = pn[i] > 0.0 ? pn[i] : 0.0;  // Guard tiny negatives.
-    pg[i] *= std::sqrt(n / (pd[i] + eps));
-  }
+  util::ParallelFor(0, g->size(), util::GrainForWork(8),
+                    [&](std::size_t i0, std::size_t i1) {
+                      for (std::size_t i = i0; i < i1; ++i) {
+                        // Guard tiny negatives in the numerator.
+                        const double n = pn[i] > 0.0 ? pn[i] : 0.0;
+                        pg[i] *= std::sqrt(n / (pd[i] + eps));
+                      }
+                    });
 }
 
 void NormalizeMembershipRows(const BlockStructure& blocks, la::Matrix* g) {
   for (std::size_t k = 0; k < blocks.num_types(); ++k) {
     const std::size_t c0 = blocks.cluster_offset[k];
     const std::size_t c1 = blocks.cluster_offset[k + 1];
-    for (std::size_t i = blocks.type_offset[k]; i < blocks.type_offset[k + 1];
-         ++i) {
-      double s = 0.0;
-      for (std::size_t j = c0; j < c1; ++j) s += std::fabs((*g)(i, j));
-      if (s > 0.0) {
-        const double inv = 1.0 / s;
-        for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) *= inv;
-      } else {
-        const double u = 1.0 / static_cast<double>(c1 - c0);
-        for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) = u;
-      }
-    }
+    util::ParallelFor(
+        blocks.type_offset[k], blocks.type_offset[k + 1],
+        util::GrainForWork(4 * (c1 - c0) + 1),
+        [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            double s = 0.0;
+            for (std::size_t j = c0; j < c1; ++j) s += std::fabs((*g)(i, j));
+            if (s > 0.0) {
+              const double inv = 1.0 / s;
+              for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) *= inv;
+            } else {
+              const double u = 1.0 / static_cast<double>(c1 - c0);
+              for (std::size_t j = c0; j < c1; ++j) (*g)(i, j) = u;
+            }
+          }
+        });
   }
 }
 

@@ -5,8 +5,28 @@
 #include <numeric>
 #include <string>
 
+#include "util/parallel.h"
+
 namespace rhchme {
 namespace graph {
+namespace {
+
+/// Copies the strict upper triangle of `m` onto the lower one. Each chunk
+/// writes only its own rows; the upper triangle was fully written before
+/// the ParallelFor barrier that precedes this call.
+void MirrorUpperToLower(la::Matrix* m, std::size_t work_per_row) {
+  const std::size_t n = m->rows();
+  util::ParallelFor(0, n, util::GrainForWork(work_per_row),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        for (std::size_t j = 0; j < i; ++j) {
+                          (*m)(i, j) = (*m)(j, i);
+                        }
+                      }
+                    });
+}
+
+}  // namespace
 
 const char* WeightSchemeName(WeightScheme scheme) {
   switch (scheme) {
@@ -25,52 +45,68 @@ Status KnnGraphOptions::Validate() const {
 la::Matrix PairwiseSquaredDistances(const la::Matrix& points) {
   const std::size_t n = points.rows(), d = points.cols();
   std::vector<double> sq(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* r = points.row_ptr(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
-    sq[i] = s;
-  }
+  util::ParallelFor(0, n, util::GrainForWork(2 * d + 1),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        const double* r = points.row_ptr(i);
+                        double s = 0.0;
+                        for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
+                        sq[i] = s;
+                      }
+                    });
   la::Matrix dist(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* ri = points.row_ptr(i);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double* rj = points.row_ptr(j);
-      double dot = 0.0;
-      for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
-      // max() guards the tiny negatives produced by cancellation.
-      double v = std::max(0.0, sq[i] + sq[j] - 2.0 * dot);
-      dist(i, j) = v;
-      dist(j, i) = v;
-    }
-  }
+  // Upper triangle only, row-parallel: chunk boundaries fall between rows,
+  // so every write lands in the chunk's own rows. The mirror pass runs
+  // after the barrier and reads the finished upper triangle.
+  util::ParallelFor(
+      0, n, util::GrainForWork(d * (n / 2 + 1)),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const double* ri = points.row_ptr(i);
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const double* rj = points.row_ptr(j);
+            double dot = 0.0;
+            for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+            // max() guards the tiny negatives produced by cancellation.
+            dist(i, j) = std::max(0.0, sq[i] + sq[j] - 2.0 * dot);
+          }
+        }
+      });
+  MirrorUpperToLower(&dist, n / 2 + 1);
   return dist;
 }
 
 la::Matrix PairwiseCosine(const la::Matrix& points) {
   const std::size_t n = points.rows(), d = points.cols();
   std::vector<double> norm(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* r = points.row_ptr(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
-    norm[i] = std::sqrt(s);
-  }
+  util::ParallelFor(0, n, util::GrainForWork(2 * d + 1),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        const double* r = points.row_ptr(i);
+                        double s = 0.0;
+                        for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
+                        norm[i] = std::sqrt(s);
+                      }
+                    });
   la::Matrix cos(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (norm[i] == 0.0) continue;
-    const double* ri = points.row_ptr(i);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (norm[j] == 0.0) continue;
-      const double* rj = points.row_ptr(j);
-      double dot = 0.0;
-      for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
-      double v = dot / (norm[i] * norm[j]);
-      if (v < 0.0) v = 0.0;
-      cos(i, j) = v;
-      cos(j, i) = v;
-    }
-  }
+  // Same row-parallel upper-triangle + mirror structure as the distance
+  // kernel above.
+  util::ParallelFor(
+      0, n, util::GrainForWork(d * (n / 2 + 1)),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          if (norm[i] == 0.0) continue;
+          const double* ri = points.row_ptr(i);
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (norm[j] == 0.0) continue;
+            const double* rj = points.row_ptr(j);
+            double dot = 0.0;
+            for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+            cos(i, j) = std::max(0.0, dot / (norm[i] * norm[j]));
+          }
+        }
+      });
+  MirrorUpperToLower(&cos, n / 2 + 1);
   return cos;
 }
 
@@ -85,19 +121,25 @@ Result<la::SparseMatrix> BuildKnnGraph(const la::Matrix& points,
 
   la::Matrix dist = PairwiseSquaredDistances(points);
 
-  // Neighbour lists: partial-sort the p closest of each row.
+  // Neighbour lists: partial-sort the p closest of each row. Rows are
+  // independent; each chunk keeps its own scratch `order` vector.
   std::vector<std::vector<std::size_t>> nbrs(n);
-  std::vector<std::size_t> order;
-  for (std::size_t i = 0; i < n; ++i) {
-    order.resize(n);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
-    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(p - 1),
-                     order.end(), [&](std::size_t a, std::size_t b) {
-                       return dist(i, a) < dist(i, b);
-                     });
-    nbrs[i].assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(p));
-  }
+  util::ParallelFor(0, n, util::GrainForWork(n), [&](std::size_t r0,
+                                                     std::size_t r1) {
+    std::vector<std::size_t> order;
+    for (std::size_t i = r0; i < r1; ++i) {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(p - 1),
+                       order.end(), [&](std::size_t a, std::size_t b) {
+                         return dist(i, a) < dist(i, b);
+                       });
+      nbrs[i].assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(p));
+    }
+  });
 
   // Directed adjacency flags for the symmetrisation rule of Eq. 3.
   auto is_neighbour = [&](std::size_t i, std::size_t j) {

@@ -1,23 +1,55 @@
 #include "la/gemm.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/parallel.h"
+
 namespace rhchme {
 namespace la {
+namespace {
+
+// Tile sizes for the blocked kernels. A reduction tile of B
+// (kBlockK x kBlockJ = 128 KB) stays resident in L2 while a panel of
+// kRowPanel output rows streams over it; the C row segment (kBlockJ
+// doubles) stays in L1 across the reduction tile. The accumulation order
+// for any output element is fixed by these constants alone, never by the
+// thread count, which keeps results bit-identical for any pool size.
+constexpr std::size_t kRowPanel = 32;
+constexpr std::size_t kBlockK = 64;
+constexpr std::size_t kBlockJ = 256;
+
+/// C rows [r0, r1) of C = A * B, tiled over the reduction and column dims.
+void GemmPanelNN(const Matrix& a, const Matrix& b, Matrix* c, std::size_t r0,
+                 std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.cols();
+  for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+    const std::size_t kend = std::min(k, kb + kBlockK);
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* ai = a.row_ptr(i);
+        double* ci = c->row_ptr(i) + jb;
+        for (std::size_t l = kb; l < kend; ++l) {
+          const double ail = ai[l];
+          if (ail == 0.0) continue;  // Membership blocks are mostly zero.
+          const double* bl = b.row_ptr(l) + jb;
+          for (std::size_t j = 0; j < jlen; ++j) ci[j] += ail * bl[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.cols() == b.rows(), "Multiply: inner dims mismatch");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  c->Resize(m, n);
-  // ikj order: the inner loop is a contiguous axpy over B's and C's rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c->row_ptr(i);
-    const double* ai = a.row_ptr(i);
-    for (std::size_t l = 0; l < k; ++l) {
-      const double ail = ai[l];
-      if (ail == 0.0) continue;
-      const double* bl = b.row_ptr(l);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
-    }
-  }
+  const std::size_t m = a.rows();
+  c->Resize(m, b.cols());
+  util::ParallelFor(0, m, kRowPanel, [&](std::size_t r0, std::size_t r1) {
+    GemmPanelNN(a, b, c, r0, r1);
+  });
 }
 
 Matrix Multiply(const Matrix& a, const Matrix& b) {
@@ -28,19 +60,14 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
 
 void MultiplyTNInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.rows() == b.rows(), "MultiplyTN: inner dims mismatch");
-  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  c->Resize(m, n);
-  // l outer: stream over rows of A and B once, scatter-accumulate into C.
-  for (std::size_t l = 0; l < k; ++l) {
-    const double* al = a.row_ptr(l);
-    const double* bl = b.row_ptr(l);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double ali = al[i];
-      if (ali == 0.0) continue;
-      double* ci = c->row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += ali * bl[j];
-    }
-  }
+  // Materialising Aᵀ costs O(mk) against the O(mkn) product and turns the
+  // column-strided reads into the contiguous row-panel kernel.
+  const Matrix at = a.Transposed();
+  const std::size_t m = at.rows();
+  c->Resize(m, b.cols());
+  util::ParallelFor(0, m, kRowPanel, [&](std::size_t r0, std::size_t r1) {
+    GemmPanelNN(at, b, c, r0, r1);
+  });
 }
 
 Matrix MultiplyTN(const Matrix& a, const Matrix& b) {
@@ -53,17 +80,22 @@ void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.cols() == b.cols(), "MultiplyNT: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   c->Resize(m, n);
-  // C(i,j) is a dot product of two contiguous rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* ai = a.row_ptr(i);
-    double* ci = c->row_ptr(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* bj = b.row_ptr(j);
-      double acc = 0.0;
-      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
-      ci[j] = acc;
+  // C(i,j) is a dot product of two contiguous rows; rows of C are
+  // independent, so panels go straight to the pool.
+  const std::size_t grain =
+      std::max(std::size_t{1}, util::GrainForWork(2 * k * (n ? n : 1)));
+  util::ParallelFor(0, m, grain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* ai = a.row_ptr(i);
+      double* ci = c->row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* bj = b.row_ptr(j);
+        double acc = 0.0;
+        for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+        ci[j] = acc;
+      }
     }
-  }
+  });
 }
 
 Matrix MultiplyNT(const Matrix& a, const Matrix& b) {
@@ -75,36 +107,57 @@ Matrix MultiplyNT(const Matrix& a, const Matrix& b) {
 Matrix Gram(const Matrix& a) {
   const std::size_t k = a.rows(), n = a.cols();
   Matrix g(n, n);
-  for (std::size_t l = 0; l < k; ++l) {
-    const double* al = a.row_ptr(l);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ali = al[i];
-      if (ali == 0.0) continue;
+  if (n == 0) return g;
+  // Row i of AᵀA needs column i of A; the transpose makes every dot
+  // contiguous. Upper triangle first (disjoint rows per chunk), mirror
+  // after the barrier.
+  const Matrix at = a.Transposed();
+  const std::size_t grain =
+      std::max(std::size_t{1}, util::GrainForWork(k * (n / 2 + 1)));
+  util::ParallelFor(0, n, grain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* ati = at.row_ptr(i);
       double* gi = g.row_ptr(i);
-      for (std::size_t j = i; j < n; ++j) gi[j] += ali * al[j];
+      for (std::size_t j = i; j < n; ++j) {
+        const double* atj = at.row_ptr(j);
+        double acc = 0.0;
+        for (std::size_t l = 0; l < k; ++l) acc += ati[l] * atj[l];
+        gi[j] = acc;
+      }
     }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  }
+  });
+  util::ParallelFor(0, n, std::max(std::size_t{1}, util::GrainForWork(n)),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        for (std::size_t j = 0; j < i; ++j) {
+                          g(i, j) = g(j, i);
+                        }
+                      }
+                    });
   return g;
 }
 
 std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x) {
   RHCHME_CHECK(a.cols() == x.size(), "MultiplyVec: dims mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_ptr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
-    y[i] = acc;
-  }
+  util::ParallelFor(
+      0, a.rows(), util::GrainForWork(2 * a.cols() + 1),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const double* ai = a.row_ptr(i);
+          double acc = 0.0;
+          for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
+          y[i] = acc;
+        }
+      });
   return y;
 }
 
 std::vector<double> MultiplyTVec(const Matrix& a,
                                  const std::vector<double>& x) {
   RHCHME_CHECK(a.rows() == x.size(), "MultiplyTVec: dims mismatch");
+  // Serial: the scatter-accumulate into y is cheap (O(mk) on vectors) and
+  // would need per-thread copies of y to stay deterministic.
   std::vector<double> y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* ai = a.row_ptr(i);
@@ -119,9 +172,46 @@ double FrobeniusInner(const Matrix& a, const Matrix& b) {
   RHCHME_CHECK(a.SameShape(b), "FrobeniusInner: shape mismatch");
   const double* pa = a.data();
   const double* pb = b.data();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
-  return acc;
+  return util::ParallelSum(0, a.size(), util::kMinWorkPerChunk,
+                           [&](std::size_t i0, std::size_t i1) {
+                             double acc = 0.0;
+                             for (std::size_t i = i0; i < i1; ++i) {
+                               acc += pa[i] * pb[i];
+                             }
+                             return acc;
+                           });
+}
+
+double Sandwich(const Matrix& g, const Matrix& l) {
+  RHCHME_CHECK(l.rows() == l.cols() && l.rows() == g.rows(),
+               "Sandwich: shape mismatch");
+  const std::size_t n = g.rows(), c = g.cols();
+  if (n == 0 || c == 0) return 0.0;
+  // tr(Gᵀ L G) = Σ_i (L G)(i,:) · G(i,:). Each chunk streams its rows of L
+  // against G into a c-sized scratch row, so the n x c intermediate is
+  // never materialised; ParallelSum adds the per-chunk traces in fixed
+  // chunk order.
+  const std::size_t grain =
+      std::max(std::size_t{1}, util::GrainForWork(2 * n * c));
+  return util::ParallelSum(0, n, grain, [&](std::size_t r0, std::size_t r1) {
+    std::vector<double> u(c);
+    double acc = 0.0;
+    for (std::size_t i = r0; i < r1; ++i) {
+      std::fill(u.begin(), u.end(), 0.0);
+      const double* li = l.row_ptr(i);
+      for (std::size_t t = 0; t < n; ++t) {
+        const double lit = li[t];
+        if (lit == 0.0) continue;  // Ensemble Laplacians are pNN-sparse.
+        const double* gt = g.row_ptr(t);
+        for (std::size_t j = 0; j < c; ++j) u[j] += lit * gt[j];
+      }
+      const double* gi = g.row_ptr(i);
+      double trace_i = 0.0;
+      for (std::size_t j = 0; j < c; ++j) trace_i += u[j] * gi[j];
+      acc += trace_i;
+    }
+    return acc;
+  });
 }
 
 }  // namespace la

@@ -1,9 +1,16 @@
 // Dense matrix-multiplication kernels.
 //
-// Every solver inner loop in the library funnels through these four
-// products, so they use cache-friendly loop orders (ikj / dot-row forms)
-// that auto-vectorise well with -O2 on a single core. Shapes are checked;
-// `*Into` variants reuse the caller's output buffer.
+// Every solver inner loop in the library funnels through these products.
+// The kernels are cache-blocked (tiled over the reduction and column
+// dimensions) and dispatch independent row panels of the output through
+// util::ParallelFor, so they scale across cores; thread count is governed
+// by util::SetNumThreads / the RHCHME_NUM_THREADS environment variable,
+// and grain sizes derive from util::GrainForWork (≈64K flops per chunk).
+//
+// Determinism: each output row is produced by exactly one chunk and its
+// accumulation order is fixed by the tile sizes, never by the thread count
+// or schedule, so results are bit-identical for any pool size. Shapes are
+// checked; `*Into` variants reuse the caller's output buffer.
 
 #ifndef RHCHME_LA_GEMM_H_
 #define RHCHME_LA_GEMM_H_
@@ -31,7 +38,8 @@ void MultiplyTNInto(const Matrix& a, const Matrix& b, Matrix* c);
 /// Writes A * Bᵀ into `c` (resized as needed).
 void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c);
 
-/// Gram matrix AᵀA (symmetric; computes the upper triangle and mirrors).
+/// Gram matrix AᵀA (symmetric; computes the upper triangle in parallel
+/// row panels and mirrors).
 Matrix Gram(const Matrix& a);
 
 /// y = A * x. Requires a.cols() == x.size().
@@ -42,9 +50,14 @@ std::vector<double> MultiplyTVec(const Matrix& a,
                                  const std::vector<double>& x);
 
 /// tr(Aᵀ B) = sum of the entrywise product — the Frobenius inner product.
-/// Cheaper than forming the product when only the trace is needed
-/// (used for tr(Gᵀ L G) bookkeeping).
+/// Cheaper than forming the product when only the trace is needed.
 double FrobeniusInner(const Matrix& a, const Matrix& b);
+
+/// tr(Gᵀ L G) without materialising L G: each chunk streams rows of L
+/// against G into a c-sized scratch row, and per-row traces are reduced in
+/// fixed order. Requires L square with l.rows() == g.rows(). This is the
+/// ensemble-regulariser term of the RHCHME objective (paper Eq. 16).
+double Sandwich(const Matrix& g, const Matrix& l);
 
 }  // namespace la
 }  // namespace rhchme

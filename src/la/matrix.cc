@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/parallel.h"
+
 namespace rhchme {
 namespace la {
 
@@ -53,19 +55,19 @@ void Matrix::Resize(std::size_t rows, std::size_t cols) {
 
 Matrix Matrix::Transposed() const {
   Matrix t(cols_, rows_);
-  // Blocked transpose keeps both source row and destination row in cache.
+  // Blocked transpose keeps both source row and destination row in cache;
+  // chunks own disjoint destination row panels, so they parallelise cleanly.
   constexpr std::size_t kBlock = 32;
-  for (std::size_t ib = 0; ib < rows_; ib += kBlock) {
-    std::size_t imax = std::min(rows_, ib + kBlock);
-    for (std::size_t jb = 0; jb < cols_; jb += kBlock) {
-      std::size_t jmax = std::min(cols_, jb + kBlock);
-      for (std::size_t i = ib; i < imax; ++i) {
-        for (std::size_t j = jb; j < jmax; ++j) {
+  util::ParallelFor(0, cols_, kBlock, [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t ib = 0; ib < rows_; ib += kBlock) {
+      const std::size_t imax = std::min(rows_, ib + kBlock);
+      for (std::size_t j = j0; j < j1; ++j) {
+        for (std::size_t i = ib; i < imax; ++i) {
           t(j, i) = (*this)(i, j);
         }
       }
     }
-  }
+  });
   return t;
 }
 
@@ -238,9 +240,8 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
 
 void Matrix::ScaleRows(const std::vector<double>& d) {
   RHCHME_CHECK(d.size() == rows_, "ScaleRows: size mismatch");
-  constexpr double kEps = 1e-300;
   for (std::size_t i = 0; i < rows_; ++i) {
-    if (std::fabs(d[i]) < kEps) continue;
+    if (std::fabs(d[i]) < kScaleRowsEps) continue;
     double inv = 1.0 / d[i];
     double* r = row_ptr(i);
     for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
@@ -260,7 +261,7 @@ void Matrix::NormalizeRowsL1(std::size_t c0, std::size_t c1) {
     double* r = row_ptr(i);
     double s = 0.0;
     for (std::size_t j = 0; j < cols_; ++j) s += std::fabs(r[j]);
-    if (s > 0.0) {
+    if (s > kNormalizeRowsZeroTol) {
       double inv = 1.0 / s;
       for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
     } else if (c1 > c0) {

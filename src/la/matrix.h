@@ -18,6 +18,21 @@
 namespace rhchme {
 namespace la {
 
+/// Divisor floor for Matrix::ScaleRows: rows whose scale entry has
+/// magnitude below this are left untouched instead of dividing by a
+/// (near-)zero and flushing the row to ±Inf. Degree vectors and row
+/// norms in this library are either exactly zero or of sane magnitude,
+/// so the floor only needs to sit far below any legitimate divisor;
+/// 1e-300 filters exact zeros and underflow debris while remaining ~8
+/// decades above the smallest normal double (~2.2e-308).
+constexpr double kScaleRowsEps = 1e-300;
+
+/// Row-mass threshold for Matrix::NormalizeRowsL1: a row whose L1 mass is
+/// at or below this is treated as all-zero and (when a column range is
+/// given) replaced by the uniform distribution over that range — the
+/// fallback used for objects with no membership signal (paper Eq. 22).
+constexpr double kNormalizeRowsZeroTol = 0.0;
+
 /// Dense row-major matrix. Indices are 0-based; element (i,j) is
 /// `data()[i * cols() + j]`.
 class Matrix {
@@ -132,12 +147,13 @@ class Matrix {
 
   // ---- Row/column scaling -----------------------------------------------
 
-  /// Divides each row by `d[i]` (no-op for rows with |d[i]| < eps floor).
+  /// Divides each row by `d[i]` (no-op for rows with |d[i]| < kScaleRowsEps).
   void ScaleRows(const std::vector<double>& d);
   /// Multiplies each column by `d[j]`.
   void ScaleCols(const std::vector<double>& d);
-  /// Normalises each row to unit L1 mass; all-zero rows become uniform
-  /// over [c0, c1) if a nonempty range is given, else stay zero.
+  /// Normalises each row to unit L1 mass; rows with mass <=
+  /// kNormalizeRowsZeroTol become uniform over [c0, c1) if a nonempty
+  /// range is given, else stay zero.
   void NormalizeRowsL1(std::size_t c0 = 0, std::size_t c1 = 0);
 
   /// Short human-readable dump (for debugging / error messages).

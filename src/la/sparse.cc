@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace rhchme {
 namespace la {
 
@@ -95,13 +97,18 @@ std::vector<double> SparseMatrix::MultiplyVec(
     const std::vector<double>& x) const {
   RHCHME_CHECK(x.size() == cols_, "MultiplyVec: dims mismatch");
   std::vector<double> y(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      acc += values_[k] * x[cols_idx_[k]];
-    }
-    y[i] = acc;
-  }
+  const std::size_t nnz_per_row = rows_ > 0 ? nnz() / rows_ + 1 : 1;
+  util::ParallelFor(0, rows_, util::GrainForWork(2 * nnz_per_row),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        double acc = 0.0;
+                        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1];
+                             ++k) {
+                          acc += values_[k] * x[cols_idx_[k]];
+                        }
+                        y[i] = acc;
+                      }
+                    });
   return y;
 }
 
@@ -109,14 +116,20 @@ void SparseMatrix::MultiplyDenseInto(const Matrix& b, Matrix* c) const {
   RHCHME_CHECK(b.rows() == cols_, "MultiplyDense: dims mismatch");
   c->Resize(rows_, b.cols());
   const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double* ci = c->row_ptr(i);
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const double v = values_[k];
-      const double* br = b.row_ptr(cols_idx_[k]);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
-    }
-  }
+  // Output rows are independent; each chunk gathers its own rows' nonzeros.
+  const std::size_t nnz_per_row = rows_ > 0 ? nnz() / rows_ + 1 : 1;
+  util::ParallelFor(
+      0, rows_, util::GrainForWork(2 * nnz_per_row * (n + 1)),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          double* ci = c->row_ptr(i);
+          for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            const double v = values_[k];
+            const double* br = b.row_ptr(cols_idx_[k]);
+            for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+          }
+        }
+      });
 }
 
 Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
@@ -130,14 +143,26 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
   RHCHME_CHECK(b.rows() == rows_, "MultiplyTransposedDense: dims mismatch");
   c->Resize(cols_, b.cols());
   const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* bi = b.row_ptr(i);
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const double v = values_[k];
-      double* cr = c->row_ptr(cols_idx_[k]);
-      for (std::size_t j = 0; j < n; ++j) cr[j] += v * bi[j];
-    }
-  }
+  // The scatter lands on C rows indexed by the nonzeros' columns, so rows
+  // of C cannot be split across chunks. Slice the dense operand's columns
+  // instead: every chunk walks all nonzeros but owns a disjoint column
+  // band [j0, j1) of C, and the per-element accumulation order (row-major
+  // nonzero order) is identical for any slicing.
+  const std::size_t scan_cost = 2 * nnz() + 1;
+  util::ParallelFor(0, n, util::GrainForWork(scan_cost),
+                    [&](std::size_t j0, std::size_t j1) {
+                      for (std::size_t i = 0; i < rows_; ++i) {
+                        const double* bi = b.row_ptr(i);
+                        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1];
+                             ++k) {
+                          const double v = values_[k];
+                          double* cr = c->row_ptr(cols_idx_[k]);
+                          for (std::size_t j = j0; j < j1; ++j) {
+                            cr[j] += v * bi[j];
+                          }
+                        }
+                      }
+                    });
 }
 
 std::vector<double> SparseMatrix::RowSums() const {

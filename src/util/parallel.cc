@@ -1,0 +1,206 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rhchme {
+namespace util {
+namespace {
+
+// True on pool workers, and on the caller while it participates in a
+// region; nested ParallelFor calls then run inline.
+thread_local bool tls_in_parallel_region = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("RHCHME_NUM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+class ThreadPool {
+ public:
+  // Leaked singleton: workers parked on the condition variable at process
+  // exit must not race static destruction of the pool's mutex.
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+    return *pool;
+  }
+
+  int num_threads() const {
+    return target_threads_.load(std::memory_order_relaxed);
+  }
+
+  void SetNumThreads(int n) {
+    std::lock_guard<std::mutex> region(run_mu_);
+    JoinWorkers();
+    target_threads_.store(std::max(1, n), std::memory_order_relaxed);
+  }
+
+  void Run(std::size_t begin, std::size_t end, std::size_t grain,
+           const ChunkFn& fn) {
+    const std::size_t chunk = std::max<std::size_t>(1, grain);
+    const std::size_t nchunks = (end - begin + chunk - 1) / chunk;
+    if (nchunks <= 1 || num_threads() <= 1 || tls_in_parallel_region) {
+      const bool was_in_region = tls_in_parallel_region;
+      tls_in_parallel_region = true;
+      fn(begin, end);
+      tls_in_parallel_region = was_in_region;
+      return;
+    }
+
+    // One region at a time; concurrent callers queue here.
+    std::lock_guard<std::mutex> region(run_mu_);
+    EnsureWorkers(num_threads() - 1);
+    const Job job{begin, end, chunk, nchunks, &fn};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // All workers must be parked before job state is rewritten, else a
+      // straggler from the previous generation could claim a chunk of the
+      // new job while still holding the old function pointer.
+      done_cv_.wait(lock, [&] { return idle_ == workers_.size(); });
+      job_ = job;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_.store(nchunks, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    tls_in_parallel_region = true;
+    DrainChunks(job);
+    tls_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::size_t nchunks = 0;
+    const ChunkFn* fn = nullptr;
+  };
+
+  explicit ThreadPool(int n) : target_threads_(std::max(1, n)) {}
+
+  void EnsureWorkers(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < n) {
+      workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+    }
+  }
+
+  void JoinWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+    idle_ = 0;
+  }
+
+  void WorkerLoop() {
+    tls_in_parallel_region = true;
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++idle_;
+    done_cv_.notify_all();
+    for (;;) {
+      cv_.wait(lock,
+               [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      const Job job = job_;
+      --idle_;
+      lock.unlock();
+      DrainChunks(job);
+      lock.lock();
+      ++idle_;
+      done_cv_.notify_all();
+    }
+  }
+
+  void DrainChunks(const Job& job) {
+    for (;;) {
+      const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.nchunks) return;
+      const std::size_t b = job.begin + c * job.chunk;
+      const std::size_t e = std::min(job.end, b + job.chunk);
+      (*job.fn)(b, e);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last chunk: wake the caller blocked in Run().
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::atomic<int> target_threads_;
+  std::mutex run_mu_;  // Serialises Run() and SetNumThreads().
+
+  std::mutex mu_;  // Guards job_, generation_, idle_, stop_, workers_.
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job job_;
+  std::uint64_t generation_ = 0;
+  std::size_t idle_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace
+
+int NumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Instance().SetNumThreads(n); }
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const ChunkFn& fn) {
+  if (begin >= end) return;
+  ThreadPool::Instance().Run(begin, end, grain, fn);
+}
+
+double ParallelSum(std::size_t begin, std::size_t end, std::size_t grain,
+                   const ChunkSumFn& fn) {
+  if (begin >= end) return 0.0;
+  const std::size_t chunk = std::max<std::size_t>(1, grain);
+  const std::size_t nchunks = (end - begin + chunk - 1) / chunk;
+  std::vector<double> partial(nchunks, 0.0);
+  ParallelFor(begin, end, chunk, [&](std::size_t b, std::size_t e) {
+    // Chunks are grain-aligned, so the slot index is recoverable from b
+    // even when several chunks are fused into one inline call.
+    for (std::size_t cb = b; cb < e; cb += chunk) {
+      partial[(cb - begin) / chunk] = fn(cb, std::min(e, cb + chunk));
+    }
+  });
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+std::size_t GrainForWork(std::size_t work_per_index) {
+  if (work_per_index == 0) work_per_index = 1;
+  return std::max<std::size_t>(1, kMinWorkPerChunk / work_per_index);
+}
+
+}  // namespace util
+}  // namespace rhchme

@@ -77,6 +77,31 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(16, 16, 16),
                       std::make_tuple(33, 17, 5)));
 
+// Ragged shapes that stress the blocked kernels' tile edges: degenerate
+// 1x1, single-row against a wide reduction, tall-and-skinny panels that
+// straddle row-panel boundaries, wide outputs that straddle the column
+// tile, reduction dims straddling the k tile, and empty matrices.
+INSTANTIATE_TEST_SUITE_P(
+    RaggedShapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 300, 1),     // 1xk row vector
+                      std::make_tuple(1, 7, 90),      // single-row output
+                      std::make_tuple(130, 3, 2),     // tall: > kRowPanel rows
+                      std::make_tuple(2, 3, 1000),    // wide: > kBlockJ cols
+                      std::make_tuple(5, 200, 5),     // k > kBlockK
+                      std::make_tuple(65, 65, 65),    // off-by-one vs tiles
+                      std::make_tuple(0, 0, 0),       // fully empty
+                      std::make_tuple(0, 4, 3),       // empty output rows
+                      std::make_tuple(3, 0, 4)));     // empty reduction
+
+TEST(Gemm, EmptyReductionYieldsZeroMatrix) {
+  Matrix a(4, 0);
+  Matrix b(0, 6);
+  Matrix c = Multiply(a, b);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 6u);
+  EXPECT_EQ(c.MaxAbs(), 0.0);
+}
+
 TEST(Gemm, AssociativityProperty) {
   Rng rng(3);
   Matrix a = Matrix::RandomNormal(6, 4, &rng);
@@ -121,6 +146,31 @@ TEST(Gemm, FrobeniusInnerMatchesTrace) {
   // <A, B>_F = tr(Aᵀ B).
   double expected = Multiply(a.Transposed(), b).Trace();
   EXPECT_NEAR(FrobeniusInner(a, b), expected, 1e-10);
+}
+
+TEST(Gemm, SandwichMatchesExplicitTrace) {
+  Rng rng(17);
+  Matrix g = Matrix::RandomNormal(23, 4, &rng);
+  Matrix l = Matrix::RandomNormal(23, 23, &rng);
+  // tr(Gᵀ L G) via the explicit product chain.
+  const double expected = MultiplyTN(g, Multiply(l, g)).Trace();
+  EXPECT_NEAR(Sandwich(g, l), expected, 1e-9);
+}
+
+TEST(Gemm, SandwichOfLaplacianLikeMatrixIsNonNegative) {
+  // For L = D - W (diagonally dominant PSD), tr(GᵀLG) >= 0.
+  Matrix w = Matrix::FromRows({{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  std::vector<double> deg = w.RowSums();
+  Matrix l = Matrix::Diagonal(deg);
+  l.Sub(w);
+  Rng rng(23);
+  Matrix g = Matrix::RandomNormal(3, 2, &rng);
+  EXPECT_GE(Sandwich(g, l), -1e-12);
+}
+
+TEST(Gemm, SandwichEmptyIsZero) {
+  EXPECT_EQ(Sandwich(Matrix(), Matrix()), 0.0);
+  EXPECT_EQ(Sandwich(Matrix(4, 0), Matrix(4, 4)), 0.0);
 }
 
 TEST(Gemm, SparseInputsShortCircuit) {

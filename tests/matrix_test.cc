@@ -197,6 +197,37 @@ TEST(Matrix, NormalizeRowsL1ZeroRowStaysZeroWithoutRange) {
   EXPECT_EQ(m(0, 1), 0.0);
 }
 
+TEST(Matrix, ScaleRowsEpsFloorBoundary) {
+  // Divisors at or above the documented floor divide; below it the row is
+  // left untouched instead of blowing up to ±Inf.
+  Matrix m = Matrix::FromRows({{2, 4}, {2, 4}, {2, 4}});
+  m.ScaleRows({kScaleRowsEps, kScaleRowsEps / 2.0, -kScaleRowsEps / 2.0});
+  EXPECT_TRUE(m.AllFinite());
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0 / kScaleRowsEps);  // At the floor: divides.
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);                  // Below: untouched.
+  EXPECT_DOUBLE_EQ(m(2, 0), 2.0);                  // |d| is what matters.
+}
+
+TEST(Matrix, NormalizeRowsL1UniformFallbackOverSubrange) {
+  // The all-zero fallback spreads mass only over [c0, c1), matching the
+  // per-type cluster blocks of the membership matrix (paper Eq. 22).
+  Matrix m = Matrix::FromRows({{0, 0, 0, 0}, {1, 1, 1, 1}});
+  m.NormalizeRowsL1(1, 4);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 3), 1.0 / 3.0);
+  // A nonzero row normalises over all columns, untouched by the range.
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.25);
+}
+
+TEST(Matrix, NormalizeRowsL1NegativeEntriesUseAbsoluteMass) {
+  Matrix m = Matrix::FromRows({{-1, 3}});
+  m.NormalizeRowsL1();
+  EXPECT_DOUBLE_EQ(m(0, 0), -0.25);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.75);
+}
+
 TEST(Matrix, Concat) {
   Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
   Matrix b = Matrix::FromRows({{5}, {6}});
