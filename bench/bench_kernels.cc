@@ -102,6 +102,91 @@ void BM_Sandwich(benchmark::State& state) {
 }
 BENCHMARK(BM_Sandwich)->UseRealTime()->Arg(256)->Arg(1024);
 
+la::SparseMatrix RandomSparse(std::size_t rows, std::size_t cols,
+                              std::size_t nnz_per_row, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> trips;
+  trips.reserve(rows * nnz_per_row);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      trips.push_back({i, rng.UniformInt(cols), rng.Uniform(0.1, 1.0)});
+    }
+  }
+  return la::SparseMatrix::FromTriplets(rows, cols, std::move(trips));
+}
+
+void BM_SparseCscBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::SparseMatrix a = RandomSparse(n, n, 16, 15);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a.Scale(1.0);  // Invalidates the cached mirror; not part of the build.
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(&a.BuildCscMirror());
+  }
+  SetKernelCounters(state, 0.0);
+  state.counters["nnz"] = benchmark::Counter(static_cast<double>(a.nnz()));
+}
+BENCHMARK(BM_SparseCscBuild)->UseRealTime()->Arg(1024)->Arg(4096);
+
+void BM_SparseTransposedDenseScatter(benchmark::State& state) {
+  // Aᵀ·B on the per-chunk-accumulator fallback (no CSC mirror) — the
+  // one-shot-product path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  la::SparseMatrix a = RandomSparse(n, n, 16, 16);
+  la::Matrix b = RandomMatrix(n, c, 17);
+  la::Matrix out;
+  for (auto _ : state) {
+    a.MultiplyTransposedDenseInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetKernelCounters(state, 2.0 * static_cast<double>(a.nnz()) * c);
+}
+BENCHMARK(BM_SparseTransposedDenseScatter)->UseRealTime()
+    ->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SparseTransposedDenseCsc(benchmark::State& state) {
+  // Same product with the CSC mirror built once up front: gather-style
+  // loops threading over output rows.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  la::SparseMatrix a = RandomSparse(n, n, 16, 16);
+  a.BuildCscMirror();
+  la::Matrix b = RandomMatrix(n, c, 17);
+  la::Matrix out;
+  for (auto _ : state) {
+    a.MultiplyTransposedDenseInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetKernelCounters(state, 2.0 * static_cast<double>(a.nnz()) * c);
+}
+BENCHMARK(BM_SparseTransposedDenseCsc)->UseRealTime()
+    ->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_EnsembleBuild(benchmark::State& state) {
+  // Full heterogeneous-ensemble construction (paper Eq. 12): per (type,
+  // member) tasks — subspace learning + pNN graph + Laplacians — on the
+  // pool. The `threads` counter shows the scaling knob.
+  const auto per_type = static_cast<std::size_t>(state.range(0));
+  data::BlockWorldOptions data_opts;
+  data_opts.objects_per_type = {per_type, per_type, per_type};
+  data_opts.n_classes = 3;
+  data_opts.seed = 18;
+  data::MultiTypeRelationalData d =
+      data::GenerateBlockWorld(data_opts).value();
+  fact::BlockStructure blocks = fact::BuildBlockStructure(d);
+  core::EnsembleOptions opts;
+  opts.subspace.spg.max_iterations = 15;
+  for (auto _ : state) {
+    auto e = core::BuildEnsemble(d, blocks, opts);
+    benchmark::DoNotOptimize(e.value().laplacian.data());
+  }
+  SetKernelCounters(state, 0.0);
+}
+BENCHMARK(BM_EnsembleBuild)->UseRealTime()->Arg(48)->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_KnnGraph(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   la::Matrix pts = RandomMatrix(n, 64, 6);

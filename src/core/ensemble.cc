@@ -1,7 +1,38 @@
 #include "core/ensemble.h"
 
+#include <utility>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
 namespace rhchme {
 namespace core {
+namespace {
+
+/// One ensemble-member construction unit: learn the affinity of member
+/// (`type`, subspace-or-pNN) and its Laplacian. Members are mutually
+/// independent, so they run one-per-task on the thread pool.
+struct MemberTask {
+  std::size_t type;
+  bool subspace;  // false = pNN member.
+};
+
+/// Runs `fn(t)` for every task index. Dispatches through ParallelFor only
+/// when there is real fan-out: a single task runs directly on the caller
+/// so its own inner parallel regions (SPG GEMMs, pairwise distances)
+/// still reach the pool instead of being serialised as nested regions.
+template <typename Fn>
+void RunTasks(std::size_t count, const Fn& fn) {
+  if (count <= 1) {
+    for (std::size_t t = 0; t < count; ++t) fn(t);
+    return;
+  }
+  util::ParallelFor(0, count, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t t = b; t < e; ++t) fn(t);
+  });
+}
+
+}  // namespace
 
 Status EnsembleOptions::Validate() const {
   if (!include_subspace && !include_knn) {
@@ -20,46 +51,85 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
     const fact::BlockStructure& blocks, const EnsembleOptions& opts) {
   RHCHME_RETURN_IF_ERROR(opts.Validate());
 
+  const std::size_t num_types = data.NumTypes();
+  for (std::size_t k = 0; k < num_types; ++k) {
+    if (data.Type(k).features.empty()) {
+      return Status::FailedPrecondition(
+          "type '" + data.Type(k).name +
+          "' has no features; intra-type relationships cannot be learned");
+    }
+  }
+
   HeterogeneousEnsemble out;
   out.alpha = opts.alpha;
   out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
-  out.subspace_affinity.resize(data.NumTypes());
-  out.knn_affinity.resize(data.NumTypes());
+  out.subspace_affinity.resize(num_types);
+  out.knn_affinity.resize(num_types);
 
-  for (std::size_t k = 0; k < data.NumTypes(); ++k) {
-    const data::ObjectType& type = data.Type(k);
-    if (type.features.empty()) {
-      return Status::FailedPrecondition(
-          "type '" + type.name +
-          "' has no features; intra-type relationships cannot be learned");
-    }
-    la::Matrix block(type.count, type.count);
+  // One candidate manifold per task (ROADMAP threading item): every
+  // (type, member) pair learns its affinity and Laplacian independently.
+  // Subspace seeds come from DeriveStreamSeed(seed, type), fixed before
+  // dispatch, so the ensemble is reproducible for any schedule or pool
+  // size. Tasks write only their own slots; assembly stays serial.
+  std::vector<MemberTask> tasks;
+  tasks.reserve(2 * num_types);
+  for (std::size_t k = 0; k < num_types; ++k) {
+    if (opts.include_subspace) tasks.push_back({k, true});
+    if (opts.include_knn) tasks.push_back({k, false});
+  }
+  std::vector<la::Matrix> subspace_lap(num_types);
+  std::vector<la::Matrix> knn_lap(num_types);
+  std::vector<Status> task_status(tasks.size());
 
-    if (opts.include_subspace) {
+  RunTasks(tasks.size(), [&](std::size_t t) {
+    const MemberTask& task = tasks[t];
+    const data::ObjectType& type = data.Type(task.type);
+    if (task.subspace) {
       SubspaceOptions sub = opts.subspace;
-      // Per-type seed offset keeps the W initialisations independent.
-      sub.seed = opts.subspace.seed + 7919 * (k + 1);
+      // Per-type stream keeps the W initialisations independent.
+      sub.seed = DeriveStreamSeed(opts.subspace.seed, task.type);
       Result<SubspaceResult> learned =
           LearnSubspaceAffinity(type.features, sub);
-      if (!learned.ok()) return learned.status();
-      out.subspace_affinity[k] = learned.value().affinity;
+      if (!learned.ok()) {
+        task_status[t] = learned.status();
+        return;
+      }
+      out.subspace_affinity[task.type] = std::move(learned).value().affinity;
       Result<la::Matrix> lap =
-          graph::BuildLaplacian(out.subspace_affinity[k], opts.laplacian);
-      if (!lap.ok()) return lap.status();
-      block.AddScaled(lap.value(), opts.alpha);
-    }
-
-    if (opts.include_knn) {
+          graph::BuildLaplacian(out.subspace_affinity[task.type],
+                                opts.laplacian);
+      if (!lap.ok()) {
+        task_status[t] = lap.status();
+        return;
+      }
+      subspace_lap[task.type] = std::move(lap).value();
+    } else {
       Result<la::SparseMatrix> knn =
           graph::BuildKnnGraph(type.features, opts.knn);
-      if (!knn.ok()) return knn.status();
-      out.knn_affinity[k] = std::move(knn).value();
+      if (!knn.ok()) {
+        task_status[t] = knn.status();
+        return;
+      }
+      out.knn_affinity[task.type] = std::move(knn).value();
       Result<la::Matrix> lap =
-          graph::BuildLaplacian(out.knn_affinity[k], opts.laplacian);
-      if (!lap.ok()) return lap.status();
-      block.Add(lap.value());
+          graph::BuildLaplacian(out.knn_affinity[task.type], opts.laplacian);
+      if (!lap.ok()) {
+        task_status[t] = lap.status();
+        return;
+      }
+      knn_lap[task.type] = std::move(lap).value();
     }
+  });
+  for (const Status& status : task_status) {
+    if (!status.ok()) return status;
+  }
 
+  for (std::size_t k = 0; k < num_types; ++k) {
+    la::Matrix block(blocks.objects(k), blocks.objects(k));
+    if (!subspace_lap[k].empty()) {
+      block.AddScaled(subspace_lap[k], opts.alpha);
+    }
+    if (!knn_lap[k].empty()) block.Add(knn_lap[k]);
     out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
                            block);
   }
@@ -80,22 +150,35 @@ Result<HeterogeneousEnsemble> ReweightEnsemble(
   HeterogeneousEnsemble out = base;
   out.alpha = alpha;
   out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
-  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+  // Laplacian rebuilds are per-type independent, and the diagonal blocks
+  // occupy disjoint row ranges of the joint Laplacian, so each task can
+  // assemble and place its own block.
+  std::vector<Status> task_status(blocks.num_types());
+  RunTasks(blocks.num_types(), [&](std::size_t k) {
     la::Matrix block(blocks.objects(k), blocks.objects(k));
     if (!base.subspace_affinity[k].empty()) {
       Result<la::Matrix> lap =
           graph::BuildLaplacian(base.subspace_affinity[k], kind);
-      if (!lap.ok()) return lap.status();
+      if (!lap.ok()) {
+        task_status[k] = lap.status();
+        return;
+      }
       block.AddScaled(lap.value(), alpha);
     }
     if (base.knn_affinity[k].nnz() > 0) {
       Result<la::Matrix> lap =
           graph::BuildLaplacian(base.knn_affinity[k], kind);
-      if (!lap.ok()) return lap.status();
+      if (!lap.ok()) {
+        task_status[k] = lap.status();
+        return;
+      }
       block.Add(lap.value());
     }
     out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
                            block);
+  });
+  for (const Status& status : task_status) {
+    if (!status.ok()) return status;
   }
   return out;
 }

@@ -10,6 +10,16 @@
 // Two *diverse* members give the accuracy that RMC's many same-type
 // members cannot (§III.B). The joint Laplacian is block-diagonal across
 // types and plugs into the regulariser tr(Gᵀ L G) of Eq. 15.
+//
+// Threading model: every (type, member) pair is an independent
+// construction task — one candidate manifold per task — dispatched on
+// the global pool (util/parallel.h). Each member's subspace seed is
+// derived upfront via util DeriveStreamSeed(seed, type), and tasks write
+// only their own output slots, so the assembled ensemble is bit-identical
+// for any pool size or schedule (covered by ensemble_test). A task's own
+// inner parallel regions run inline while other tasks are in flight
+// (nested-region rule); with a single task the caller runs it directly
+// so its inner kernels keep the whole pool.
 
 #ifndef RHCHME_CORE_ENSEMBLE_H_
 #define RHCHME_CORE_ENSEMBLE_H_
@@ -55,14 +65,19 @@ struct HeterogeneousEnsemble {
 };
 
 /// Builds the ensemble for every type of `data` using each type's feature
-/// matrix. Types must have nonempty features.
+/// matrix. Types must have nonempty features. Members are constructed in
+/// parallel (one task per member) with schedule-independent results; the
+/// first failing member's status (in type order, subspace before pNN) is
+/// returned on error.
 Result<HeterogeneousEnsemble> BuildEnsemble(
     const data::MultiTypeRelationalData& data,
     const fact::BlockStructure& blocks, const EnsembleOptions& opts);
 
 /// Re-assembles the joint Laplacian from an ensemble's stored members at a
 /// different alpha — the expensive subspace learning is NOT repeated.
-/// Used by alpha sweeps (Fig. 2) and the auto-tuner.
+/// Used by alpha sweeps (Fig. 2) and the auto-tuner. Per-type Laplacian
+/// rebuilds run as parallel tasks (the diagonal blocks occupy disjoint
+/// rows of the joint Laplacian).
 Result<HeterogeneousEnsemble> ReweightEnsemble(
     const HeterogeneousEnsemble& base, const fact::BlockStructure& blocks,
     double alpha,

@@ -101,11 +101,15 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     // ---- Step 5: row ℓ1 normalisation (Eq. 22) -------------------------
     if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
 
+    // The residual Q = R - G S Gᵀ feeds both the E_R update (Eq. 25-27)
+    // and the objective, so the n² x c product pair is formed once per
+    // iteration instead of twice.
+    la::Matrix q = la::MultiplyNT(la::Multiply(g, s), g);
+    q.Scale(-1.0);
+    q.Add(r);  // Q = R - G S Gᵀ
+
     // ---- Steps 6–7: E_R update (Eq. 25–27) -----------------------------
     if (opts_.use_error_matrix) {
-      la::Matrix q = la::MultiplyNT(la::Multiply(g, s), g);
-      q.Scale(-1.0);
-      q.Add(r);  // Q = R - G S Gᵀ
       // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
       // 1 / (beta/(2||q_i|| + zeta) + 1). Rows are independent, so the
       // reweighting runs as parallel row chunks.
@@ -126,9 +130,17 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     }
 
     // ---- Objective bookkeeping and convergence -------------------------
-    const double objective = RhchmeObjective(
-        r, g, s, opts_.use_error_matrix ? error : la::Matrix(),
-        ensemble.laplacian, opts_.lambda, opts_.beta);
+    // Same value as RhchmeObjective(), evaluated on the shared residual:
+    // after the E_R update, the data term is ||Q - E_R||²_F.
+    double l21 = 0.0;
+    if (opts_.use_error_matrix) {
+      q.Sub(error);
+      l21 = error.L21Norm();
+    }
+    const double smooth =
+        opts_.lambda != 0.0 ? la::Sandwich(g, ensemble.laplacian) : 0.0;
+    const double objective = q.FrobeniusNormSquared() +
+                             opts_.beta * l21 + opts_.lambda * smooth;
     res.objective_trace.push_back(objective);
     res.iterations = t;
     if (callback_) callback_(t, g);

@@ -175,21 +175,35 @@ Result<la::SparseMatrix> BuildKnnGraph(const la::Matrix& points,
     return 0.0;
   };
 
+  // Edge weighting per source row is independent (reads only the
+  // precomputed distance/cosine tables), so rows run as parallel chunks
+  // writing their own edge lists; the row-ordered concatenation below
+  // keeps the triplet sequence — and the summed duplicates — identical
+  // to a serial build.
+  std::vector<std::vector<la::Triplet>> row_edges(n);
+  util::ParallelFor(
+      0, n, util::GrainForWork(8 * p + 1),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          row_edges[i].reserve(2 * p);
+          for (std::size_t j : nbrs[i]) {
+            bool keep = opts.mutual ? is_neighbour(j, i) : true;
+            if (!keep) continue;
+            double w = weight(i, j);
+            if (w <= 0.0) continue;
+            // Insert both directions; FromTriplets sums duplicates, so
+            // halve edges that both endpoints list.
+            bool both = is_neighbour(j, i);
+            double v = both ? 0.5 * w : w;
+            row_edges[i].push_back({i, j, v});
+            row_edges[i].push_back({j, i, v});
+          }
+        }
+      });
   std::vector<la::Triplet> trips;
   trips.reserve(2 * n * p);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j : nbrs[i]) {
-      bool keep = opts.mutual ? is_neighbour(j, i) : true;
-      if (!keep) continue;
-      double w = weight(i, j);
-      if (w <= 0.0) continue;
-      // Insert both directions; FromTriplets sums duplicates, so halve
-      // edges that both endpoints list.
-      bool both = is_neighbour(j, i);
-      double v = both ? 0.5 * w : w;
-      trips.push_back({i, j, v});
-      trips.push_back({j, i, v});
-    }
+    trips.insert(trips.end(), row_edges[i].begin(), row_edges[i].end());
   }
   return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
 }

@@ -31,7 +31,8 @@ std::vector<double> DegreeVector(const la::Matrix& affinity);
 /// Dense Laplacian of a sparse affinity matrix. Isolated vertices (zero
 /// degree) contribute L_ii = 0 in normalised variants (their D^{-1/2} is
 /// treated as 0, the spectral-clustering convention).
-/// Requires a square affinity matrix.
+/// Requires a square affinity matrix. Sparse-direct: only W's nonzeros
+/// are scattered (threaded over rows), never a densified copy of W.
 Result<la::Matrix> BuildLaplacian(const la::SparseMatrix& affinity,
                                   LaplacianKind kind);
 

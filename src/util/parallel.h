@@ -19,12 +19,24 @@
 // stable. Callers that need bit-stable results across thread counts must
 // either (a) make each index's computation independent of the chunk
 // extent (all the kernel call sites do this: one output row per index,
-// fixed accumulation order), or (b) use ParallelSum, which re-chunks
-// fused ranges internally and combines per-chunk partials in chunk
-// order. No atomics touch user accumulators.
+// fixed accumulation order), (b) use ParallelSum, which re-chunks fused
+// ranges internally and combines per-chunk partials in chunk order, or
+// (c) apply the same re-chunking idiom to non-scalar reductions: derive
+// the chunk layout from the problem shape only (never the pool size),
+// give each chunk its own accumulator slot indexed by
+// (chunk_begin - begin) / grain — recoverable inside fused calls because
+// chunk starts are grain-aligned — and merge the slots in chunk order
+// after the barrier. SparseMatrix::MultiplyTransposedDenseInto's scatter
+// fallback is the reference implementation of (c). No atomics touch user
+// accumulators.
 //
-// Nested parallel regions run serially: a ParallelFor issued from inside a
-// worker executes inline on that worker. Chunk functions must not throw.
+// Nested parallel regions run serially: a ParallelFor issued from inside
+// a worker executes inline on that worker. Coarse task fan-out (e.g. the
+// per-member ensemble build in core/ensemble.cc) therefore trades inner
+// kernel parallelism for task parallelism; dispatch through the pool
+// only when there are >= 2 tasks, otherwise run the single task on the
+// caller so its inner regions still parallelise. Chunk functions must
+// not throw.
 
 #ifndef RHCHME_UTIL_PARALLEL_H_
 #define RHCHME_UTIL_PARALLEL_H_

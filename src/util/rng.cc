@@ -130,4 +130,20 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
 
 Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // Fold the stream id into the SplitMix64 walk position: stream k reads
+  // the (k+1)-th output of the seed's expansion sequence, computed in
+  // O(1) because SplitMix64's state advance is a fixed increment.
+  uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  // Inline SplitMix64 finaliser on the advanced state.
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng StreamRng(uint64_t seed, uint64_t stream) {
+  return Rng(DeriveStreamSeed(seed, stream));
+}
+
 }  // namespace rhchme

@@ -75,6 +75,20 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Deterministically derives the seed of sub-stream `stream` under `seed`.
+///
+/// SplitMix64-mixes (seed, stream), so nearby pairs — adjacent streams of
+/// one seed, or the same stream of adjacent seeds — land on well-separated
+/// generators, unlike additive offsets (seed + c·stream), where different
+/// (seed, stream) pairs collide on the same derived seed. Schedule-free by
+/// construction: the result depends only on the two inputs, which is what
+/// lets threaded consumers (e.g. the per-member ensemble tasks) draw
+/// reproducible streams no matter which worker runs them first.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
+/// Convenience: an Rng seeded with DeriveStreamSeed(seed, stream).
+Rng StreamRng(uint64_t seed, uint64_t stream);
+
 }  // namespace rhchme
 
 #endif  // RHCHME_UTIL_RNG_H_

@@ -7,6 +7,7 @@
 #include "data/synthetic.h"
 #include "la/eigen_sym.h"
 #include "la/gemm.h"
+#include "scoped_num_threads.h"
 
 namespace rhchme {
 namespace core {
@@ -158,6 +159,54 @@ TEST(Ensemble, ReweightRejectsBadInputs) {
   HeterogeneousEnsemble broken = base.value();
   broken.subspace_affinity.pop_back();
   EXPECT_FALSE(ReweightEnsemble(broken, b, 1.0).ok());
+}
+
+// Per-member construction runs one manifold per pool task; member seeds
+// are derived from (seed, type) before dispatch, so the assembled
+// ensemble must be bit-identical whether the pool has 1 thread or 4
+// (equivalently RHCHME_NUM_THREADS=1 vs 4, which feed the same pool).
+TEST(Ensemble, BuildIsBitStableAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+
+  auto build = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  };
+  const HeterogeneousEnsemble serial = build(1);
+  const HeterogeneousEnsemble threaded = build(4);
+
+  EXPECT_EQ(la::MaxAbsDiff(serial.laplacian, threaded.laplacian), 0.0);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(la::MaxAbsDiff(serial.subspace_affinity[k],
+                             threaded.subspace_affinity[k]),
+              0.0)
+        << "type " << k;
+    ASSERT_EQ(serial.knn_affinity[k].nnz(), threaded.knn_affinity[k].nnz());
+    EXPECT_EQ(serial.knn_affinity[k].values(),
+              threaded.knn_affinity[k].values());
+    EXPECT_EQ(serial.knn_affinity[k].col_indices(),
+              threaded.knn_affinity[k].col_indices());
+  }
+}
+
+TEST(Ensemble, ReweightIsBitStableAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  Result<HeterogeneousEnsemble> base = BuildEnsemble(d, b, FastOptions());
+  ASSERT_TRUE(base.ok());
+
+  auto reweight = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    Result<HeterogeneousEnsemble> e = ReweightEnsemble(base.value(), b, 2.0);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  };
+  const HeterogeneousEnsemble serial = reweight(1);
+  const HeterogeneousEnsemble threaded = reweight(4);
+  EXPECT_EQ(la::MaxAbsDiff(serial.laplacian, threaded.laplacian), 0.0);
 }
 
 TEST(Ensemble, FailsWithoutFeatures) {

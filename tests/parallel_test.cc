@@ -17,21 +17,12 @@
 #include "core/rhchme_solver.h"
 #include "data/synthetic.h"
 #include "la/gemm.h"
+#include "scoped_num_threads.h"
 #include "util/rng.h"
 
 namespace rhchme {
 namespace util {
 namespace {
-
-/// Restores the ambient pool size when a test scope ends.
-class ScopedNumThreads {
- public:
-  explicit ScopedNumThreads(int n) : saved_(NumThreads()) { SetNumThreads(n); }
-  ~ScopedNumThreads() { SetNumThreads(saved_); }
-
- private:
-  int saved_;
-};
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ScopedNumThreads threads(4);

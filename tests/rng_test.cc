@@ -163,5 +163,36 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(DeriveStreamSeed, IsDeterministic) {
+  EXPECT_EQ(DeriveStreamSeed(42, 0), DeriveStreamSeed(42, 0));
+  EXPECT_EQ(DeriveStreamSeed(42, 7), DeriveStreamSeed(42, 7));
+}
+
+TEST(DeriveStreamSeed, AdjacentStreamsAndSeedsAreDistinct) {
+  // Nearby (seed, stream) pairs must not collide — the failure mode of
+  // additive offsets like seed + c*stream.
+  std::set<uint64_t> seen;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    for (uint64_t stream = 0; stream < 8; ++stream) {
+      seen.insert(DeriveStreamSeed(seed, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(StreamRng, MatchesDerivedSeedAndSeparatesStreams) {
+  Rng direct(DeriveStreamSeed(123, 4));
+  Rng stream = StreamRng(123, 4);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(stream.Next(), direct.Next());
+
+  Rng a = StreamRng(123, 0);
+  Rng b = StreamRng(123, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 }  // namespace
 }  // namespace rhchme

@@ -1,0 +1,26 @@
+// Shared test helper: pin the pool size for a scope.
+
+#ifndef RHCHME_TESTS_SCOPED_NUM_THREADS_H_
+#define RHCHME_TESTS_SCOPED_NUM_THREADS_H_
+
+#include "util/parallel.h"
+
+namespace rhchme {
+
+/// Restores the ambient pool size when a test scope ends.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(util::NumThreads()) {
+    util::SetNumThreads(n);
+  }
+  ~ScopedNumThreads() { util::SetNumThreads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace rhchme
+
+#endif  // RHCHME_TESTS_SCOPED_NUM_THREADS_H_

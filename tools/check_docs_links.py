@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docs link hygiene: fail on broken relative links and stale file refs.
+
+Checks, over README.md and every Markdown file under docs/:
+
+  1. Markdown links `[text](target)`: every relative target must resolve
+     to an existing file or directory (anchors are stripped; http(s)/
+     mailto links are skipped).
+  2. Stale file references: inline-code mentions of repo paths
+     (`src/...`, `tests/...`, `bench/...`, `docs/...`, `tools/...`,
+     `examples/...`, `.github/...`) must exist, so renames can't leave
+     the docs pointing at ghosts. Glob-style mentions (containing `*`)
+     are ignored.
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(
+    r"`((?:src|tests|bench|docs|tools|examples|\.github)/[A-Za-z0-9_./-]+)`"
+)
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    files = []
+    readme = REPO / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return files
+
+
+def check_file(path):
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in MD_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}"
+                )
+        for match in CODE_PATH.finditer(line):
+            ref = match.group(1)
+            if "*" in ref:
+                continue
+            if not (REPO / ref).exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: stale file reference -> {ref}"
+                )
+    return problems
+
+
+def main():
+    files = doc_files()
+    if not files:
+        print("check_docs_links: no documentation files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"check_docs_links: {len(files)} file(s), {len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
