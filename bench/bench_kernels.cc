@@ -115,6 +115,21 @@ la::SparseMatrix RandomSparse(std::size_t rows, std::size_t cols,
   return la::SparseMatrix::FromTriplets(rows, cols, std::move(trips));
 }
 
+void BM_SparseSandwich(benchmark::State& state) {
+  // tr(Gᵀ L G) against a pNN-sparse L (16 nnz/row) — the objective's
+  // regulariser term on the memory-lean solver core; O(nnz·c) instead of
+  // the dense kernel's O(n²·c).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  la::Matrix g = RandomMatrix(n, c, 13);
+  la::SparseMatrix l = RandomSparse(n, n, 16, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Sandwich(g, l));
+  }
+  SetKernelCounters(state, 2.0 * static_cast<double>(l.nnz()) * c);
+}
+BENCHMARK(BM_SparseSandwich)->UseRealTime()->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_SparseCscBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   la::SparseMatrix a = RandomSparse(n, n, 16, 15);
@@ -180,7 +195,7 @@ void BM_EnsembleBuild(benchmark::State& state) {
   opts.subspace.spg.max_iterations = 15;
   for (auto _ : state) {
     auto e = core::BuildEnsemble(d, blocks, opts);
-    benchmark::DoNotOptimize(e.value().laplacian.data());
+    benchmark::DoNotOptimize(e.value().laplacian.nnz());
   }
   SetKernelCounters(state, 0.0);
 }
@@ -250,6 +265,49 @@ void BM_MultiplicativeIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiplicativeIteration)->UseRealTime()->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+/// Shared harness for the two solver-core benchmarks: a 3-type block
+/// world with a prebuilt ensemble, timed over a fixed 6-iteration
+/// FitWithEnsemble so per-fit times are directly comparable between the
+/// implicit (memory-lean) and explicit-materialisation cores.
+void RunSolverIterationBench(benchmark::State& state, bool explicit_core) {
+  const auto per_type = static_cast<std::size_t>(state.range(0));
+  data::BlockWorldOptions data_opts;
+  data_opts.objects_per_type = {per_type, per_type, per_type};
+  data_opts.n_classes = 3;
+  data_opts.seed = 19;
+  data::MultiTypeRelationalData d =
+      data::GenerateBlockWorld(data_opts).value();
+  fact::BlockStructure blocks = fact::BuildBlockStructure(d);
+  core::RhchmeOptions opts;
+  opts.lambda = 1.0;
+  opts.beta = 50.0;
+  opts.max_iterations = 6;
+  opts.tolerance = 0.0;  // Run all iterations.
+  opts.explicit_materialization = explicit_core;
+  opts.ensemble.subspace.spg.max_iterations = 10;
+  auto ensemble = core::BuildEnsemble(d, blocks, opts.ensemble);
+  core::Rhchme solver(opts);
+  for (auto _ : state) {
+    auto fit = solver.FitWithEnsemble(d, ensemble.value());
+    benchmark::DoNotOptimize(fit.value().hocc.objective_trace.back());
+  }
+  SetKernelCounters(state, 0.0);
+  state.counters["solver_iters"] =
+      benchmark::Counter(static_cast<double>(opts.max_iterations));
+}
+
+void BM_SolverIterationImplicit(benchmark::State& state) {
+  RunSolverIterationBench(state, /*explicit_core=*/false);
+}
+BENCHMARK(BM_SolverIterationImplicit)->UseRealTime()->Arg(64)->Arg(128)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIterationExplicit(benchmark::State& state) {
+  RunSolverIterationBench(state, /*explicit_core=*/true);
+}
+BENCHMARK(BM_SolverIterationExplicit)->UseRealTime()->Arg(64)->Arg(128)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_KMeans(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -39,8 +39,7 @@ Result<fact::HoccResult> RunSrc(const data::MultiTypeRelationalData& data,
     Result<la::Matrix> s_new = fact::SolveCentralS(g, r, opts.ridge);
     if (!s_new.ok()) return s_new.status();
     s = std::move(s_new).value();
-    fact::MultiplicativeGUpdate(r, s, /*lambda=*/0.0, nullptr, nullptr,
-                                opts.mu_eps, &g);
+    fact::MultiplicativeGUpdate(r, s, opts.mu_eps, &g);
 
     const double objective = fact::ReconstructionError(r, g, s);
     res.objective_trace.push_back(objective);

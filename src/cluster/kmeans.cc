@@ -21,6 +21,10 @@ double SquaredDistance(const double* a, const double* b, std::size_t d) {
 /// k-means++: first centre uniform, then proportional to D².
 la::Matrix SeedPlusPlus(const la::Matrix& points, std::size_t k, Rng* rng) {
   const std::size_t n = points.rows(), d = points.cols();
+  // KMeans() validates this for callers; the check here keeps the seeding
+  // from silently sampling duplicate centres if it is ever reached on a
+  // path that skipped validation.
+  RHCHME_CHECK(k >= 1 && k <= n, "SeedPlusPlus: requires 1 <= k <= n");
   la::Matrix centroids(k, d);
   std::size_t first = rng->UniformInt(n);
   centroids.SetBlock(0, 0, points.Block(first, 0, 1, d));
@@ -89,7 +93,21 @@ LloydOutcome RunLloyd(const la::Matrix& points, la::Matrix centroids,
         });
     inertia = 0.0;
     for (std::size_t i = 0; i < n; ++i) inertia += best_dist[i];
-    // Update step; empty clusters are re-seeded on a random point.
+    // Convergence needs a *nonnegative* improvement below the tolerance:
+    // a rise (delta < 0) must keep iterating, not satisfy
+    // `delta < tolerance` through a large negative value.
+    const double delta = prev_inertia - inertia;
+    if (delta >= 0.0 && delta < opts.tolerance) {
+      ++it;
+      break;
+    }
+    prev_inertia = inertia;
+    // Update step; empty clusters are re-seeded on a random point. The
+    // update runs only when another assignment pass will re-evaluate it,
+    // so every exit — convergence break or iteration cap — returns the
+    // exact (assignments, centroids, inertia) triple the assignment step
+    // measured, and a reseeded centre is never returned sight-unseen.
+    if (it + 1 >= opts.max_iterations) continue;  // Cap: no trailing update.
     centroids.Fill(0.0);
     std::vector<std::size_t> count(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -107,11 +125,6 @@ LloydOutcome RunLloyd(const la::Matrix& points, la::Matrix centroids,
       double* cr = centroids.row_ptr(c);
       for (std::size_t j = 0; j < d; ++j) cr[j] *= inv;
     }
-    if (prev_inertia - inertia < opts.tolerance) {
-      ++it;
-      break;
-    }
-    prev_inertia = inertia;
   }
   return {std::move(assign), std::move(centroids), inertia, it};
 }

@@ -32,6 +32,45 @@ void RunTasks(std::size_t count, const Fn& fn) {
   });
 }
 
+/// Assembles the joint sparse Laplacian alpha·L_S + L_E from per-type
+/// member Laplacians (dense L_S blocks, sparse L_E blocks; either may be
+/// empty). Blocks land at their type offsets; overlapping (i, j) entries
+/// of the two members are summed by FromTriplets (two addends —
+/// order-insensitive), so the assembly is deterministic.
+la::SparseMatrix AssembleJointLaplacian(
+    const fact::BlockStructure& blocks,
+    const std::vector<la::Matrix>& subspace_lap,
+    const std::vector<la::SparseMatrix>& knn_lap, double alpha) {
+  std::vector<la::Triplet> trips;
+  std::size_t nnz_bound = 0;
+  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+    nnz_bound += subspace_lap[k].size() + knn_lap[k].nnz();
+  }
+  trips.reserve(nnz_bound);
+  for (std::size_t k = 0; k < blocks.num_types(); ++k) {
+    const std::size_t off = blocks.type_offset[k];
+    const la::Matrix& ls = subspace_lap[k];
+    for (std::size_t i = 0; i < ls.rows(); ++i) {
+      const double* row = ls.row_ptr(i);
+      for (std::size_t j = 0; j < ls.cols(); ++j) {
+        const double v = alpha * row[j];
+        if (v != 0.0) trips.push_back({off + i, off + j, v});
+      }
+    }
+    const la::SparseMatrix& le = knn_lap[k];
+    const auto& offsets = le.row_offsets();
+    const auto& cols = le.col_indices();
+    const auto& vals = le.values();
+    for (std::size_t i = 0; i < le.rows(); ++i) {
+      for (std::size_t p = offsets[i]; p < offsets[i + 1]; ++p) {
+        trips.push_back({off + i, off + cols[p], vals[p]});
+      }
+    }
+  }
+  return la::SparseMatrix::FromTriplets(
+      blocks.total_objects(), blocks.total_objects(), std::move(trips));
+}
+
 }  // namespace
 
 Status EnsembleOptions::Validate() const {
@@ -62,7 +101,6 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
 
   HeterogeneousEnsemble out;
   out.alpha = opts.alpha;
-  out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
   out.subspace_affinity.resize(num_types);
   out.knn_affinity.resize(num_types);
 
@@ -78,7 +116,7 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
     if (opts.include_knn) tasks.push_back({k, false});
   }
   std::vector<la::Matrix> subspace_lap(num_types);
-  std::vector<la::Matrix> knn_lap(num_types);
+  std::vector<la::SparseMatrix> knn_lap(num_types);
   std::vector<Status> task_status(tasks.size());
 
   RunTasks(tasks.size(), [&](std::size_t t) {
@@ -111,8 +149,8 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
         return;
       }
       out.knn_affinity[task.type] = std::move(knn).value();
-      Result<la::Matrix> lap =
-          graph::BuildLaplacian(out.knn_affinity[task.type], opts.laplacian);
+      Result<la::SparseMatrix> lap = graph::BuildSparseLaplacian(
+          out.knn_affinity[task.type], opts.laplacian);
       if (!lap.ok()) {
         task_status[t] = lap.status();
         return;
@@ -124,15 +162,8 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
     if (!status.ok()) return status;
   }
 
-  for (std::size_t k = 0; k < num_types; ++k) {
-    la::Matrix block(blocks.objects(k), blocks.objects(k));
-    if (!subspace_lap[k].empty()) {
-      block.AddScaled(subspace_lap[k], opts.alpha);
-    }
-    if (!knn_lap[k].empty()) block.Add(knn_lap[k]);
-    out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
-                           block);
-  }
+  out.laplacian =
+      AssembleJointLaplacian(blocks, subspace_lap, knn_lap, opts.alpha);
   return out;
 }
 
@@ -149,13 +180,13 @@ Result<HeterogeneousEnsemble> ReweightEnsemble(
   }
   HeterogeneousEnsemble out = base;
   out.alpha = alpha;
-  out.laplacian.Resize(blocks.total_objects(), blocks.total_objects());
-  // Laplacian rebuilds are per-type independent, and the diagonal blocks
-  // occupy disjoint row ranges of the joint Laplacian, so each task can
-  // assemble and place its own block.
+  // Laplacian rebuilds are per-type independent; tasks fill their own
+  // member slots, then the joint sparse Laplacian is assembled serially
+  // in type order.
+  std::vector<la::Matrix> subspace_lap(blocks.num_types());
+  std::vector<la::SparseMatrix> knn_lap(blocks.num_types());
   std::vector<Status> task_status(blocks.num_types());
   RunTasks(blocks.num_types(), [&](std::size_t k) {
-    la::Matrix block(blocks.objects(k), blocks.objects(k));
     if (!base.subspace_affinity[k].empty()) {
       Result<la::Matrix> lap =
           graph::BuildLaplacian(base.subspace_affinity[k], kind);
@@ -163,23 +194,22 @@ Result<HeterogeneousEnsemble> ReweightEnsemble(
         task_status[k] = lap.status();
         return;
       }
-      block.AddScaled(lap.value(), alpha);
+      subspace_lap[k] = std::move(lap).value();
     }
     if (base.knn_affinity[k].nnz() > 0) {
-      Result<la::Matrix> lap =
-          graph::BuildLaplacian(base.knn_affinity[k], kind);
+      Result<la::SparseMatrix> lap =
+          graph::BuildSparseLaplacian(base.knn_affinity[k], kind);
       if (!lap.ok()) {
         task_status[k] = lap.status();
         return;
       }
-      block.Add(lap.value());
+      knn_lap[k] = std::move(lap).value();
     }
-    out.laplacian.SetBlock(blocks.type_offset[k], blocks.type_offset[k],
-                           block);
   });
   for (const Status& status : task_status) {
     if (!status.ok()) return status;
   }
+  out.laplacian = AssembleJointLaplacian(blocks, subspace_lap, knn_lap, alpha);
   return out;
 }
 

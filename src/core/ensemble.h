@@ -56,7 +56,13 @@ struct EnsembleOptions {
 /// inspection, tests and the subspace demo).
 struct HeterogeneousEnsemble {
   /// Joint block-diagonal n x n Laplacian, alpha·L_S + L_E per block.
-  la::Matrix laplacian;
+  /// Stored sparse: the pattern is the union of the per-type blocks, so
+  /// the footprint is Σ_k nnz(block k) — O(n·p) when only the pNN member
+  /// is on, Σ_k n_k² worst case with the (dense-affinity) subspace
+  /// member — never the dense n². The solver consumes it sparse
+  /// end-to-end (±-split, SpMM, Sandwich); call ToDense() only for
+  /// inspection.
+  la::SparseMatrix laplacian;
   /// Per-type subspace affinities W^S (empty matrices when disabled).
   std::vector<la::Matrix> subspace_affinity;
   /// Per-type pNN affinities W^E (empty when disabled).

@@ -20,10 +20,37 @@ Status RhchmeOptions::Validate() const {
   return ensemble.Validate();
 }
 
-double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
-                       const la::Matrix& s, const la::Matrix& error_matrix,
-                       const la::Matrix& laplacian, double lambda,
-                       double beta) {
+bool RhchmeResult::HasErrorMatrix() const {
+  return !error_scale.empty() || !error_dense_.empty();
+}
+
+const la::Matrix& RhchmeResult::ErrorMatrix() const {
+  if (!error_dense_.empty() || error_scale.empty()) return error_dense_;
+  const std::size_t n = error_residual.rows();
+  const std::size_t cols = error_residual.cols();
+  error_dense_.Resize(n, cols);
+  util::ParallelFor(0, n, util::GrainForWork(2 * cols + 1),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        const double s = error_scale[i];
+                        const double* qi = error_residual.row_ptr(i);
+                        double* ei = error_dense_.row_ptr(i);
+                        for (std::size_t j = 0; j < cols; ++j) {
+                          ei[j] = s * qi[j];
+                        }
+                      }
+                    });
+  return error_dense_;
+}
+
+namespace {
+
+/// Data + ℓ2,1 terms of Eq. 15, shared by both RhchmeObjective overloads;
+/// the smoothness term is evaluated by the caller against its Laplacian
+/// representation.
+double ObjectiveDataTerms(const la::Matrix& r, const la::Matrix& g,
+                          const la::Matrix& s, const la::Matrix& error_matrix,
+                          double beta) {
   la::Matrix residual = la::MultiplyNT(la::Multiply(g, s), g);  // G S Gᵀ
   residual.Sub(r);
   residual.Scale(-1.0);  // R - G S Gᵀ
@@ -32,12 +59,26 @@ double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
     residual.Sub(error_matrix);
     l21 = error_matrix.L21Norm();
   }
-  double smooth = 0.0;
-  if (lambda != 0.0) {
-    // tr(Gᵀ L G) without materialising the n x c product L G.
-    smooth = la::Sandwich(g, laplacian);
-  }
-  return residual.FrobeniusNormSquared() + beta * l21 + lambda * smooth;
+  return residual.FrobeniusNormSquared() + beta * l21;
+}
+
+}  // namespace
+
+double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
+                       const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::Matrix& laplacian, double lambda,
+                       double beta) {
+  // tr(Gᵀ L G) without materialising the n x c product L G.
+  const double smooth = lambda != 0.0 ? la::Sandwich(g, laplacian) : 0.0;
+  return ObjectiveDataTerms(r, g, s, error_matrix, beta) + lambda * smooth;
+}
+
+double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
+                       const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::SparseMatrix& laplacian, double lambda,
+                       double beta) {
+  const double smooth = lambda != 0.0 ? la::Sandwich(g, laplacian) : 0.0;
+  return ObjectiveDataTerms(r, g, s, error_matrix, beta) + lambda * smooth;
 }
 
 Result<RhchmeResult> Rhchme::Fit(
@@ -63,13 +104,25 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
   if (ensemble.laplacian.rows() != n) {
     return Status::InvalidArgument("ensemble Laplacian size mismatch");
   }
+  const bool robust = opts_.use_error_matrix;
+  const bool explicit_core = opts_.explicit_materialization;
 
   // Step 1 of Algorithm 2: the joint inter-type matrix R.
   const la::Matrix r = data.BuildJointR();
 
-  // ±-parts of L are fixed across iterations (Eq. 21).
-  const la::Matrix lap_pos = la::PositivePart(ensemble.laplacian);
-  const la::Matrix lap_neg = la::NegativePart(ensemble.laplacian);
+  // ±-parts of L are fixed across iterations (Eq. 21). Sparse on the
+  // default core; the explicit reference core densifies them. Neither is
+  // needed — nor built — when lambda == 0 (no manifold term).
+  la::SparseMatrix lap_pos, lap_neg;
+  la::Matrix dense_pos, dense_neg;
+  if (opts_.lambda != 0.0) {
+    lap_pos = la::PositivePart(ensemble.laplacian);
+    lap_neg = la::NegativePart(ensemble.laplacian);
+    if (explicit_core) {
+      dense_pos = lap_pos.ToDense();
+      dense_neg = lap_neg.ToDense();
+    }
+  }
 
   // Initialise G (k-means by default) and E_R = 0.
   Rng rng(opts_.seed);
@@ -77,7 +130,15 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
       fact::InitMembership(data, blocks, opts_.init, &rng);
   if (!init.ok()) return init.status();
   la::Matrix g = std::move(init).value();
-  la::Matrix error(n, n);  // E_R starts at zero (Algorithm 2).
+
+  // E_R state. Default core: per-row scales s with E_R = diag(s)·Q — the
+  // dense matrix is never formed. Explicit core: the dense E_R of the
+  // pre-refactor solver (starts at zero, Algorithm 2).
+  std::vector<double> er_scale(robust ? n : 0, 0.0);
+  std::vector<double> row_norm(robust && !explicit_core ? n : 0, 0.0);
+  la::Matrix error;
+  if (robust && explicit_core) error.Resize(n, n);
+  bool have_error = false;  // True once the first E_R update has run.
 
   RhchmeResult out;
   out.ensemble = ensemble;
@@ -85,62 +146,122 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
   res.objective_trace.reserve(opts_.max_iterations);
 
   la::Matrix s;
+  la::Matrix gs;    // n x c staging for G·S.
+  la::Matrix work;  // Shared n x n buffer: holds M, then the residual Q.
   double prev_objective = std::numeric_limits<double>::infinity();
   for (int t = 1; t <= opts_.max_iterations; ++t) {
-    // ---- Step 3: S update (Eq. 18) on M = R - E_R ----------------------
-    la::Matrix m = r;
-    if (opts_.use_error_matrix) m.Sub(error);
-    Result<la::Matrix> s_new = fact::SolveCentralS(g, m, opts_.ridge);
+    // ---- Step 3 prep: M = R - E_R ---------------------------------------
+    const la::Matrix* m = &r;  // E_R = 0 (first iteration, or disabled).
+    if (robust && have_error) {
+      if (explicit_core) {
+        work = r;
+        work.Sub(error);
+      } else {
+        // Implicit fold: row i of M is r_i - s_i·q_i. `work` still holds
+        // the previous residual Q, so the fold rewrites it in place —
+        // no dense E_R and no extra buffer.
+        util::ParallelFor(0, n, util::GrainForWork(3 * n + 1),
+                          [&](std::size_t r0, std::size_t r1) {
+                            for (std::size_t i = r0; i < r1; ++i) {
+                              const double si = er_scale[i];
+                              const double* ri = r.row_ptr(i);
+                              double* wi = work.row_ptr(i);
+                              for (std::size_t j = 0; j < n; ++j) {
+                                wi[j] = ri[j] - si * wi[j];
+                              }
+                            }
+                          });
+      }
+      m = &work;
+    }
+
+    // ---- Step 3: S update (Eq. 18) on M ---------------------------------
+    Result<la::Matrix> s_new = fact::SolveCentralS(g, *m, opts_.ridge);
     if (!s_new.ok()) return s_new.status();
     s = std::move(s_new).value();
 
-    // ---- Step 4: multiplicative G update (Eq. 21) ----------------------
-    fact::MultiplicativeGUpdate(m, s, opts_.lambda, &lap_pos, &lap_neg,
-                                opts_.mu_eps, &g);
+    // ---- Step 4: multiplicative G update (Eq. 21) -----------------------
+    if (explicit_core) {
+      fact::MultiplicativeGUpdate(*m, s, opts_.lambda, &dense_pos, &dense_neg,
+                                  opts_.mu_eps, &g);
+    } else {
+      fact::MultiplicativeGUpdate(*m, s, opts_.lambda, &lap_pos, &lap_neg,
+                                  opts_.mu_eps, &g);
+    }
 
-    // ---- Step 5: row ℓ1 normalisation (Eq. 22) -------------------------
+    // ---- Step 5: row ℓ1 normalisation (Eq. 22) --------------------------
     if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
 
     // The residual Q = R - G S Gᵀ feeds both the E_R update (Eq. 25-27)
-    // and the objective, so the n² x c product pair is formed once per
-    // iteration instead of twice.
-    la::Matrix q = la::MultiplyNT(la::Multiply(g, s), g);
-    q.Scale(-1.0);
-    q.Add(r);  // Q = R - G S Gᵀ
+    // and the objective; it overwrites the shared workspace.
+    la::MultiplyInto(g, s, &gs);
+    la::MultiplyNTInto(gs, g, &work);
+    work.Scale(-1.0);
+    work.Add(r);  // Q = R - G S Gᵀ
 
-    // ---- Steps 6–7: E_R update (Eq. 25–27) -----------------------------
-    if (opts_.use_error_matrix) {
-      // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
-      // 1 / (beta/(2||q_i|| + zeta) + 1). Rows are independent, so the
-      // reweighting runs as parallel row chunks.
-      util::ParallelFor(
-          0, n, util::GrainForWork(4 * n + 1),
-          [&](std::size_t r0, std::size_t r1) {
-            for (std::size_t i = r0; i < r1; ++i) {
-              const double* qi = q.row_ptr(i);
-              double norm_sq = 0.0;
-              for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
-              const double d_ii =
-                  1.0 / (2.0 * std::sqrt(norm_sq) + opts_.l21_zeta);
-              const double scale = 1.0 / (opts_.beta * d_ii + 1.0);
-              double* ei = error.row_ptr(i);
-              for (std::size_t j = 0; j < n; ++j) ei[j] = scale * qi[j];
-            }
-          });
-    }
-
-    // ---- Objective bookkeeping and convergence -------------------------
-    // Same value as RhchmeObjective(), evaluated on the shared residual:
-    // after the E_R update, the data term is ||Q - E_R||²_F.
+    // ---- Steps 6–7: E_R update (Eq. 25–27) and objective ----------------
+    // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
+    // s_i = 1 / (beta/(2||q_i|| + zeta) + 1). Rows are independent, so
+    // both cores run the reweighting as parallel row chunks; the default
+    // core stores only the scales.
+    double data_term = 0.0;
     double l21 = 0.0;
-    if (opts_.use_error_matrix) {
-      q.Sub(error);
-      l21 = error.L21Norm();
+    if (robust) {
+      have_error = true;
+      if (explicit_core) {
+        util::ParallelFor(
+            0, n, util::GrainForWork(4 * n + 1),
+            [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t i = r0; i < r1; ++i) {
+                const double* qi = work.row_ptr(i);
+                double norm_sq = 0.0;
+                for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
+                const double d_ii =
+                    1.0 / (2.0 * std::sqrt(norm_sq) + opts_.l21_zeta);
+                const double scale = 1.0 / (opts_.beta * d_ii + 1.0);
+                er_scale[i] = scale;
+                double* ei = error.row_ptr(i);
+                for (std::size_t j = 0; j < n; ++j) ei[j] = scale * qi[j];
+              }
+            });
+        // After the E_R update the data term is ||Q - E_R||²_F, evaluated
+        // elementwise on the materialised matrices (reference behaviour).
+        work.Sub(error);
+        l21 = error.L21Norm();
+        data_term = work.FrobeniusNormSquared();
+      } else {
+        // Row norms and scales staged per row, then reduced serially in
+        // row order — bit-identical for any pool size. The objective
+        // terms follow analytically from E_R = diag(s)·Q:
+        //   ||Q - E_R||²_F = Σ (1 - s_i)²·||q_i||²
+        //   ||E_R||₂,₁     = Σ s_i·||q_i||.
+        util::ParallelFor(
+            0, n, util::GrainForWork(2 * n + 1),
+            [&](std::size_t r0, std::size_t r1) {
+              for (std::size_t i = r0; i < r1; ++i) {
+                const double* qi = work.row_ptr(i);
+                double norm_sq = 0.0;
+                for (std::size_t j = 0; j < n; ++j) norm_sq += qi[j] * qi[j];
+                const double norm = std::sqrt(norm_sq);
+                row_norm[i] = norm;
+                const double d_ii = 1.0 / (2.0 * norm + opts_.l21_zeta);
+                er_scale[i] = 1.0 / (opts_.beta * d_ii + 1.0);
+              }
+            });
+        for (std::size_t i = 0; i < n; ++i) {
+          const double keep = 1.0 - er_scale[i];
+          data_term += keep * keep * row_norm[i] * row_norm[i];
+          l21 += er_scale[i] * row_norm[i];
+        }
+      }
+    } else {
+      data_term = work.FrobeniusNormSquared();
     }
+
     const double smooth =
         opts_.lambda != 0.0 ? la::Sandwich(g, ensemble.laplacian) : 0.0;
-    const double objective = q.FrobeniusNormSquared() +
-                             opts_.beta * l21 + opts_.lambda * smooth;
+    const double objective =
+        data_term + opts_.beta * l21 + opts_.lambda * smooth;
     res.objective_trace.push_back(objective);
     res.iterations = t;
     if (callback_) callback_(t, g);
@@ -158,7 +279,16 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
   res.s = std::move(s);
   res.labels = fact::ExtractLabels(blocks, res.g);
   res.seconds = watch.ElapsedSeconds();
-  if (opts_.use_error_matrix) out.error_matrix = std::move(error);
+  if (robust) {
+    out.error_scale = std::move(er_scale);
+    if (explicit_core) {
+      out.error_dense_ = std::move(error);
+    } else {
+      // `work` holds the final residual Q — exactly the factored E_R's
+      // second factor. Handing it to the result costs no copy.
+      out.error_residual = std::move(work);
+    }
+  }
   return out;
 }
 

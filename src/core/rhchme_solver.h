@@ -16,12 +16,26 @@
 // L is the heterogeneous manifold ensemble of Eq. 12 (see ensemble.h).
 // Theorem 1 (monotone descent of Eq. 15 under updates 1–3, without the
 // normalisation step) is covered by property tests.
+//
+// Memory model (docs/ARCHITECTURE.md §Memory model): the default solver
+// core keeps exactly two dense n x n matrices alive per fit — the joint R
+// and one workspace that alternately holds M = R − E_R and the residual
+// Q = R − G·S·Gᵀ. Everything else stays factored or sparse: the Eq. 25–27
+// update makes E_R = diag(s)·Q with per-row scales
+// s_i = 1/(beta·d_ii + 1), so only the n scales are stored and the
+// objective terms are evaluated analytically
+// (‖Q − E_R‖²_F = Σ(1−s_i)²‖q_i‖², ‖E_R‖₂,₁ = Σ s_i‖q_i‖); the ensemble
+// Laplacian and its Eq. 21 ± parts stay sparse end-to-end. The
+// pre-refactor core that materialises dense E_R and dense Laplacian
+// parts is kept behind RhchmeOptions::explicit_materialization as the
+// equivalence/ablation reference.
 
 #ifndef RHCHME_CORE_RHCHME_SOLVER_H_
 #define RHCHME_CORE_RHCHME_SOLVER_H_
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/ensemble.h"
 #include "data/multitype_data.h"
@@ -61,6 +75,12 @@ struct RhchmeOptions {
   /// the ablation bench — disabling recovers a plain graph-regularised
   /// symmetric NMTF with an ensemble Laplacian.
   bool use_error_matrix = true;
+  /// Reference core: materialise a dense E_R each iteration and dense
+  /// Laplacian ± parts up front (the pre-implicit-core behaviour). Off by
+  /// default — the implicit core is algebraically identical and keeps the
+  /// dense footprint at R plus one workspace; the explicit core exists
+  /// for equivalence tests and memory/perf ablations.
+  bool explicit_materialization = false;
 
   Status Validate() const;
 };
@@ -71,12 +91,31 @@ struct RhchmeOptions {
 using IterationCallback =
     std::function<void(int iteration, const la::Matrix& g)>;
 
-/// Result bundle: fact::HoccResult plus the learned error matrix and the
-/// ensemble that produced it.
+/// Result bundle: fact::HoccResult plus the learned error matrix (kept
+/// factored) and the ensemble that produced it.
 struct RhchmeResult {
   fact::HoccResult hocc;
-  la::Matrix error_matrix;           ///< Final E_R (empty when disabled).
   HeterogeneousEnsemble ensemble;    ///< The Laplacian ensemble used.
+  /// Final E_R in factored form: E_R = diag(error_scale) · error_residual,
+  /// where error_residual is the last residual Q = R − G·S·Gᵀ and
+  /// error_scale holds the per-row scales s_i of Eq. 25–27. Both are empty
+  /// when the robust term is disabled; the explicit-materialisation core
+  /// stores the dense E_R directly instead and leaves the residual empty.
+  std::vector<double> error_scale;
+  la::Matrix error_residual;
+
+  /// True when a robust E_R was learned (either representation).
+  bool HasErrorMatrix() const;
+
+  /// Dense E_R, materialised on first call and cached — the solver itself
+  /// never allocates it on the default path. Returns an empty matrix when
+  /// the robust term was disabled. Not thread-safe: materialise from one
+  /// thread before sharing the result.
+  const la::Matrix& ErrorMatrix() const;
+
+ private:
+  friend class Rhchme;
+  mutable la::Matrix error_dense_;   ///< Lazy cache for ErrorMatrix().
 };
 
 /// RHCHME driver. Typical use:
@@ -111,6 +150,13 @@ class Rhchme {
 double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
                        const la::Matrix& s, const la::Matrix& error_matrix,
                        const la::Matrix& laplacian, double lambda,
+                       double beta);
+
+/// Sparse-Laplacian overload — evaluates Eq. 15 directly against a fit's
+/// `HeterogeneousEnsemble::laplacian` without densifying it.
+double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
+                       const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::SparseMatrix& laplacian, double lambda,
                        double beta);
 
 }  // namespace core

@@ -80,30 +80,45 @@ Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
   return right.value().Transposed();
 }
 
-void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
-                           double lambda, const la::Matrix* laplacian_pos,
-                           const la::Matrix* laplacian_neg, double eps,
-                           la::Matrix* g) {
+namespace {
+
+/// Data-term halves of Eq. 21, shared by the dense- and sparse-Laplacian
+/// overloads: num = A⁺ + G·B⁻ and den = A⁻ + G·B⁺ with the symmetrised
+/// gradient halves A and B of the header comment.
+void GUpdateDataTerms(const la::Matrix& m, const la::Matrix& s,
+                      const la::Matrix& g, la::Matrix* num, la::Matrix* den) {
   // A = ½ (M G Sᵀ + Mᵀ G S).
-  la::Matrix mg = la::Multiply(m, *g);                  // n x c
-  la::Matrix mtg = la::MultiplyTN(m, *g);               // n x c
+  la::Matrix mg = la::Multiply(m, g);                   // n x c
+  la::Matrix mtg;                                       // n x c
+  // Streaming AᵀB: materialising Mᵀ here would be the iteration's only
+  // dense n x n temporary (M is the solver's full-size data matrix).
+  la::MultiplyTNStreamInto(m, g, &mtg);
   la::Matrix a = la::MultiplyNT(mg, s);                 // (M G) Sᵀ
   a.Add(la::Multiply(mtg, s));                          // + (Mᵀ G) S
   a.Scale(0.5);
 
   // B = ½ (Sᵀ GᵀG S + S GᵀG Sᵀ).
-  la::Matrix gtg = la::Gram(*g);
+  la::Matrix gtg = la::Gram(g);
   la::Matrix gtgs = la::Multiply(gtg, s);               // GᵀG S
   la::Matrix b = la::MultiplyTN(s, gtgs);               // Sᵀ GᵀG S
   la::Matrix gtgst = la::MultiplyNT(gtg, s);            // GᵀG Sᵀ
   b.Add(la::Multiply(s, gtgst));                        // + S GᵀG Sᵀ
   b.Scale(0.5);
 
-  la::Matrix num = la::PositivePart(a);
-  num.Add(la::Multiply(*g, la::NegativePart(b)));
-  la::Matrix den = la::NegativePart(a);
-  den.Add(la::Multiply(*g, la::PositivePart(b)));
+  *num = la::PositivePart(a);
+  num->Add(la::Multiply(g, la::NegativePart(b)));
+  *den = la::NegativePart(a);
+  den->Add(la::Multiply(g, la::PositivePart(b)));
+}
 
+}  // namespace
+
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double lambda, const la::Matrix* laplacian_pos,
+                           const la::Matrix* laplacian_neg, double eps,
+                           la::Matrix* g) {
+  la::Matrix num, den;
+  GUpdateDataTerms(m, s, *g, &num, &den);
   if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
     la::Matrix lg_neg = la::Multiply(*laplacian_neg, *g);
     lg_neg.Scale(lambda);
@@ -113,6 +128,32 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
     den.Add(lg_pos);
   }
   RatioUpdate(num, den, eps, g);
+}
+
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double lambda,
+                           const la::SparseMatrix* laplacian_pos,
+                           const la::SparseMatrix* laplacian_neg, double eps,
+                           la::Matrix* g) {
+  la::Matrix num, den;
+  GUpdateDataTerms(m, s, *g, &num, &den);
+  if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
+    la::Matrix lg;                                      // n x c SpMM scratch
+    laplacian_neg->MultiplyDenseInto(*g, &lg);
+    lg.Scale(lambda);
+    num.Add(lg);
+    laplacian_pos->MultiplyDenseInto(*g, &lg);
+    lg.Scale(lambda);
+    den.Add(lg);
+  }
+  RatioUpdate(num, den, eps, g);
+}
+
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double eps, la::Matrix* g) {
+  MultiplicativeGUpdate(m, s, /*lambda=*/0.0,
+                        static_cast<const la::Matrix*>(nullptr), nullptr, eps,
+                        g);
 }
 
 void RatioUpdate(const la::Matrix& num, const la::Matrix& den, double eps,

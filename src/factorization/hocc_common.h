@@ -14,6 +14,7 @@
 
 #include "data/multitype_data.h"
 #include "la/matrix.h"
+#include "la/sparse.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -70,6 +71,20 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
                            double lambda, const la::Matrix* laplacian_pos,
                            const la::Matrix* laplacian_neg, double eps,
                            la::Matrix* g);
+
+/// Sparse-Laplacian overload: the ± parts stay in CSR and the L±·G terms
+/// run as SpMM (O(nnz·c) instead of O(n²·c)); the pNN ensemble Laplacian
+/// is never densified. Values agree with the dense overload to rounding.
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double lambda,
+                           const la::SparseMatrix* laplacian_pos,
+                           const la::SparseMatrix* laplacian_neg, double eps,
+                           la::Matrix* g);
+
+/// No-regulariser convenience (lambda = 0): data terms only. Avoids the
+/// nullptr-overload ambiguity at call sites without a Laplacian.
+void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
+                           double eps, la::Matrix* g);
 
 /// G ∘= sqrt(num/(den+eps)) — the bare ratio update (used by DRCC, whose
 /// factor matrices are not symmetric).

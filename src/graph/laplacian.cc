@@ -138,5 +138,57 @@ Result<la::Matrix> BuildLaplacian(const la::Matrix& affinity,
   return LaplacianFromDense(affinity, kind);
 }
 
+Result<la::SparseMatrix> BuildSparseLaplacian(const la::SparseMatrix& w,
+                                              LaplacianKind kind) {
+  if (w.rows() != w.cols()) {
+    return Status::InvalidArgument("Laplacian: affinity must be square");
+  }
+  const std::size_t n = w.rows();
+  std::vector<double> deg = w.RowSums();
+  const auto& offsets = w.row_offsets();
+  const auto& cols = w.col_indices();
+  const auto& vals = w.values();
+
+  std::vector<double> inv_sqrt;
+  if (kind == LaplacianKind::kSymmetric) {
+    inv_sqrt.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+    }
+  }
+
+  // One triplet per nonzero of W plus one diagonal triplet per vertex;
+  // FromTriplets sums a self-loop's off-diagonal term with the diagonal
+  // one (two addends — order-insensitive), matching the dense scatter.
+  std::vector<la::Triplet> trips;
+  trips.reserve(w.nnz() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (kind) {
+      case LaplacianKind::kUnnormalized:
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+          trips.push_back({i, cols[k], -vals[k]});
+        }
+        trips.push_back({i, i, deg[i]});
+        break;
+      case LaplacianKind::kSymmetric:
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+          trips.push_back({i, cols[k], -inv_sqrt[i] * vals[k] *
+                                           inv_sqrt[cols[k]]});
+        }
+        if (deg[i] > 0.0) trips.push_back({i, i, 1.0});
+        break;
+      case LaplacianKind::kRandomWalk: {
+        const double inv = deg[i] > 0.0 ? 1.0 / deg[i] : 0.0;
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+          trips.push_back({i, cols[k], -inv * vals[k]});
+        }
+        if (deg[i] > 0.0) trips.push_back({i, i, 1.0});
+        break;
+      }
+    }
+  }
+  return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
 }  // namespace graph
 }  // namespace rhchme

@@ -40,6 +40,14 @@ Result<la::Matrix> BuildLaplacian(const la::SparseMatrix& affinity,
 Result<la::Matrix> BuildLaplacian(const la::Matrix& affinity,
                                   LaplacianKind kind);
 
+/// Sparse-in, sparse-out Laplacian: the result's pattern is W's pattern
+/// plus the diagonal, so a pNN affinity (p entries per row) yields an
+/// O(n·p) Laplacian — never a dense n x n. This is what keeps the
+/// ensemble Laplacian of Eq. 12 sparse end-to-end in the solver. Values
+/// agree with the dense BuildLaplacian overloads to rounding.
+Result<la::SparseMatrix> BuildSparseLaplacian(const la::SparseMatrix& affinity,
+                                              LaplacianKind kind);
+
 }  // namespace graph
 }  // namespace rhchme
 

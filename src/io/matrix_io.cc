@@ -88,7 +88,15 @@ Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
   uint64_t rows = 0, cols = 0;
   f.read(reinterpret_cast<char*>(&rows), sizeof(rows));
   f.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!f || rows * cols > (1ull << 32)) {
+  if (!f) {
+    return Status::InvalidArgument("truncated header in: " + path);
+  }
+  // Each factor is bounded before the product is formed: rows·cols would
+  // wrap for adversarial headers (e.g. rows = cols = 2³³), silently
+  // bypassing the guard and requesting a huge allocation.
+  constexpr uint64_t kMaxElements = 1ull << 32;
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (rows != 0 && cols > kMaxElements / rows)) {
     return Status::InvalidArgument("implausible shape in: " + path);
   }
   la::Matrix m(rows, cols);
@@ -111,13 +119,34 @@ Result<std::vector<std::size_t>> ReadLabels(const std::string& path) {
   if (!f) return Status::NotFound("cannot open: " + path);
   std::vector<std::size_t> labels;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(f, line)) {
-    if (line.empty()) continue;
+    ++lineno;
+    // A label line is digits with optional surrounding spaces/CR; as
+    // strict as ReadMatrixCsv's cell parser. std::stoul alone would
+    // accept trailing junk ("3abc" → 3) and wrap negatives ("-1" → huge
+    // size_t), so the digit span is delimited by hand first.
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t digits_begin = pos;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') ++pos;
+    const std::size_t digits_end = pos;
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (digits_begin == digits_end && pos == line.size()) continue;  // Blank.
+    if (digits_begin == digits_end || pos != line.size()) {
+      return Status::InvalidArgument("non-integer label '" + line +
+                                     "' at line " + std::to_string(lineno) +
+                                     " of " + path);
+    }
     try {
-      labels.push_back(std::stoul(line));
+      labels.push_back(
+          std::stoull(line.substr(digits_begin, digits_end - digits_begin)));
     } catch (const std::exception&) {
-      return Status::InvalidArgument("non-integer label '" + line + "' in " +
-                                     path);
+      return Status::InvalidArgument("label out of range '" + line +
+                                     "' at line " + std::to_string(lineno) +
+                                     " of " + path);
     }
   }
   return labels;

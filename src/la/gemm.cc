@@ -76,6 +76,54 @@ Matrix MultiplyTN(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  RHCHME_CHECK(a.rows() == b.rows(), "MultiplyTN: inner dims mismatch");
+  const std::size_t kk = a.rows(), m = a.cols(), n = b.cols();
+  c->Resize(m, n);
+  if (kk == 0 || m == 0 || n == 0) return;
+  // Mirror of the sparse scatter fallback: bounded per-chunk accumulators
+  // keep the merge memory at <= kMaxChunks output copies, and the
+  // shape-only chunk layout keeps the per-element accumulation order
+  // (ascending source row) independent of the thread count.
+  constexpr std::size_t kMaxChunks = 16;
+  const std::size_t cap_grain = (kk + kMaxChunks - 1) / kMaxChunks;
+  const std::size_t grain =
+      std::max(util::GrainForWork(2 * m * (n ? n : 1)), cap_grain);
+  const std::size_t nchunks = (kk + grain - 1) / grain;
+  if (nchunks <= 1) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double* ak = a.row_ptr(k);
+      const double* bk = b.row_ptr(k);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double aki = ak[i];
+        if (aki == 0.0) continue;
+        double* ci = c->row_ptr(i);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+      }
+    }
+    return;
+  }
+  std::vector<Matrix> partial(nchunks);
+  util::ParallelFor(0, kk, grain, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t cb = b0; cb < e0; cb += grain) {
+      Matrix& slot = partial[cb / grain];
+      slot.Resize(m, n);  // Zero-initialised accumulator.
+      const std::size_t ce = std::min(e0, cb + grain);
+      for (std::size_t k = cb; k < ce; ++k) {
+        const double* ak = a.row_ptr(k);
+        const double* bk = b.row_ptr(k);
+        for (std::size_t i = 0; i < m; ++i) {
+          const double aki = ak[i];
+          if (aki == 0.0) continue;
+          double* ci = slot.row_ptr(i);
+          for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+        }
+      }
+    }
+  });
+  for (const Matrix& slot : partial) c->Add(slot);
+}
+
 void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.cols() == b.cols(), "MultiplyNT: inner dims mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();

@@ -32,8 +32,18 @@ Matrix MultiplyNT(const Matrix& a, const Matrix& b);
 /// Writes A * B into `c` (resized as needed).
 void MultiplyInto(const Matrix& a, const Matrix& b, Matrix* c);
 
-/// Writes Aᵀ * B into `c` (resized as needed).
+/// Writes Aᵀ * B into `c` (resized as needed). Materialises Aᵀ first —
+/// fastest for the general case, but costs an A-sized temporary.
 void MultiplyTNInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Writes Aᵀ * B into `c` without materialising Aᵀ: source-row chunks of
+/// A/B accumulate into per-chunk (a.cols() x b.cols()) buffers that are
+/// merged in chunk order. Chunk layout depends only on the shapes (capped
+/// at 16 chunks), so results are bit-identical for any pool size. The
+/// memory-lean choice when A is a large square matrix and B is narrow —
+/// the solver's Mᵀ·G product — where the transposed copy would be the
+/// only n x n temporary of the iteration.
+void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// Writes A * Bᵀ into `c` (resized as needed).
 void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c);

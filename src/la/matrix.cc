@@ -1,6 +1,7 @@
 #include "la/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
@@ -8,6 +9,35 @@
 
 namespace rhchme {
 namespace la {
+
+namespace memstats {
+namespace {
+std::atomic<bool> g_tracking{false};
+std::atomic<std::size_t> g_threshold{0};
+std::atomic<std::size_t> g_count{0};
+}  // namespace
+
+void StartTracking(std::size_t min_elements) {
+  g_threshold.store(min_elements, std::memory_order_relaxed);
+  g_count.store(0, std::memory_order_relaxed);
+  g_tracking.store(true, std::memory_order_release);
+}
+
+void StopTracking() { g_tracking.store(false, std::memory_order_release); }
+
+std::size_t LargeAllocations() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void NoteAlloc(std::size_t elements) {
+  if (!g_tracking.load(std::memory_order_acquire)) return;
+  if (elements >= g_threshold.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+}  // namespace memstats
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -48,6 +78,11 @@ Matrix Matrix::RandomNormal(std::size_t rows, std::size_t cols, Rng* rng,
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  // A same-size Resize reuses the buffer (hot *Into kernels call it every
+  // iteration); only a shape change is a fresh acquisition.
+  if (rows * cols != data_.size()) {
+    memstats::internal::NoteAlloc(rows * cols);
+  }
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, 0.0);

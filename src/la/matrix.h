@@ -18,6 +18,28 @@
 namespace rhchme {
 namespace la {
 
+/// Global accounting of large dense allocations, used by the solver
+/// memory tests to prove the implicit-E_R core never materialises a
+/// dense n x n error matrix or Laplacian part. Off by default; when
+/// tracking, every Matrix construction or Resize that acquires at least
+/// `min_elements` doubles bumps a counter (relaxed atomics, thread-safe).
+/// Plain copies/moves of an existing matrix are not counted — the
+/// contract covers explicit allocation sites, which is where solver
+/// working sets are created.
+namespace memstats {
+/// Starts counting allocations of >= `min_elements` doubles; resets the
+/// counter.
+void StartTracking(std::size_t min_elements);
+/// Stops counting. The counter keeps its value for reading.
+void StopTracking();
+/// Number of tracked allocations since the last StartTracking().
+std::size_t LargeAllocations();
+namespace internal {
+/// Allocation hook called by Matrix; no-op unless tracking is on.
+void NoteAlloc(std::size_t elements);
+}  // namespace internal
+}  // namespace memstats
+
 /// Divisor floor for Matrix::ScaleRows: rows whose scale entry has
 /// magnitude below this are left untouched instead of dividing by a
 /// (near-)zero and flushing the row to ±Inf. Degree vectors and row
@@ -42,11 +64,15 @@ class Matrix {
 
   /// rows x cols matrix, zero-initialised.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    memstats::internal::NoteAlloc(data_.size());
+  }
 
   /// rows x cols matrix with every entry set to `fill`.
   Matrix(std::size_t rows, std::size_t cols, double fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    memstats::internal::NoteAlloc(data_.size());
+  }
 
   /// Builds from nested initialiser-style rows; all rows must agree in size.
   static Matrix FromRows(const std::vector<std::vector<double>>& rows);

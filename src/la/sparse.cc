@@ -471,5 +471,66 @@ bool SparseMatrix::IsSymmetric(double tol) const {
   return true;
 }
 
+namespace {
+
+/// Shared filter behind the ± parts: keeps entries selected by `keep`,
+/// storing `map(v)`. The CSR scan preserves the (row, col) order, so the
+/// triplets arrive pre-sorted and FromTriplets' sort is near-free.
+template <typename Keep, typename Map>
+SparseMatrix FilterEntries(const SparseMatrix& m, Keep keep, Map map) {
+  const auto& offsets = m.row_offsets();
+  const auto& cols = m.col_indices();
+  const auto& vals = m.values();
+  std::vector<Triplet> trips;
+  trips.reserve(m.nnz());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      if (keep(vals[k])) trips.push_back({i, cols[k], map(vals[k])});
+    }
+  }
+  return SparseMatrix::FromTriplets(m.rows(), m.cols(), std::move(trips));
+}
+
+}  // namespace
+
+SparseMatrix PositivePart(const SparseMatrix& m) {
+  return FilterEntries(
+      m, [](double v) { return v > 0.0; }, [](double v) { return v; });
+}
+
+SparseMatrix NegativePart(const SparseMatrix& m) {
+  return FilterEntries(
+      m, [](double v) { return v < 0.0; }, [](double v) { return -v; });
+}
+
+double Sandwich(const Matrix& g, const SparseMatrix& l) {
+  RHCHME_CHECK(l.rows() == l.cols() && l.rows() == g.rows(),
+               "Sandwich: shape mismatch");
+  const std::size_t n = g.rows(), c = g.cols();
+  if (n == 0 || c == 0 || l.nnz() == 0) return 0.0;
+  const auto& offsets = l.row_offsets();
+  const auto& cols = l.col_indices();
+  const auto& vals = l.values();
+  // tr(Gᵀ L G) = Σ_i Σ_{k ∈ row i} l_ik · (g_i · g_k). Rows are
+  // independent; ParallelSum combines per-chunk partials in chunk order,
+  // and chunk boundaries depend only on (n, grain), so the reduction tree
+  // — and the result — is thread-count invariant.
+  const std::size_t nnz_per_row = l.nnz() / n + 1;
+  const std::size_t grain = util::GrainForWork(2 * nnz_per_row * c + 1);
+  return util::ParallelSum(0, n, grain, [&](std::size_t r0, std::size_t r1) {
+    double acc = 0.0;
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* gi = g.row_ptr(i);
+      for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        const double* gk = g.row_ptr(cols[k]);
+        double dot = 0.0;
+        for (std::size_t j = 0; j < c; ++j) dot += gi[j] * gk[j];
+        acc += vals[k] * dot;
+      }
+    }
+    return acc;
+  });
+}
+
 }  // namespace la
 }  // namespace rhchme

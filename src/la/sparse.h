@@ -3,7 +3,7 @@
 // The inter-type relationship matrix R and pNN affinity graphs are sparse
 // (tf-idf blocks, p edges per object). CSR keeps graph construction and
 // sparse-dense products cheap; solvers densify only when an algorithm is
-// inherently dense (e.g. the error matrix E_R).
+// inherently dense (e.g. the solver's joint-R residual workspace).
 //
 // Transposed products (Aᵀ·B, Aᵀ·x) are the awkward case for CSR: the
 // natural loop scatters into output rows indexed by the nonzeros'
@@ -178,6 +178,23 @@ class SparseMatrix {
   mutable std::mutex csc_mu_;
   mutable std::shared_ptr<const CscMirror> csc_;
 };
+
+/// Entrywise positive part (|M| + M)/2 of a sparse matrix: keeps the
+/// strictly positive entries, drops the rest. A structure-level filter —
+/// the ±-split of the multiplicative update (paper Eq. 21) stays sparse,
+/// with patterns contained in M's.
+SparseMatrix PositivePart(const SparseMatrix& m);
+
+/// Entrywise negative part (|M| - M)/2: the negated strictly negative
+/// entries (result is entrywise nonnegative).
+SparseMatrix NegativePart(const SparseMatrix& m);
+
+/// tr(Gᵀ L G) against a sparse L — the ensemble-regulariser term of the
+/// RHCHME objective evaluated in O(nnz · c). Per-row traces are staged
+/// row-indexed and reduced in fixed chunk order, so the value is
+/// bit-identical for any pool size. Requires L square with
+/// l.rows() == g.rows().
+double Sandwich(const Matrix& g, const SparseMatrix& l);
 
 }  // namespace la
 }  // namespace rhchme

@@ -46,7 +46,8 @@ TEST(Ensemble, BlockDiagonalStructure) {
   fact::BlockStructure b = fact::BuildBlockStructure(d);
   Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
   ASSERT_TRUE(e.ok()) << e.status().ToString();
-  const la::Matrix& l = e.value().laplacian;
+  // The joint Laplacian is stored sparse; densify for block inspection.
+  const la::Matrix l = e.value().laplacian.ToDense();
   ASSERT_EQ(l.rows(), 27u);
   // Cross-type blocks are exactly zero.
   EXPECT_EQ(l.Block(0, 15, 15, 12).MaxAbs(), 0.0);
@@ -74,9 +75,10 @@ TEST(Ensemble, EqualsAlphaLsPlusLe) {
   ASSERT_TRUE(e_s.ok());
   ASSERT_TRUE(e_e.ok());
 
-  la::Matrix expected = la::Scaled(e_s.value().laplacian, 2.5);
-  expected.Add(e_e.value().laplacian);
-  EXPECT_LT(la::MaxAbsDiff(e_both.value().laplacian, expected), 1e-9);
+  la::Matrix expected = la::Scaled(e_s.value().laplacian.ToDense(), 2.5);
+  expected.Add(e_e.value().laplacian.ToDense());
+  EXPECT_LT(la::MaxAbsDiff(e_both.value().laplacian.ToDense(), expected),
+            1e-9);
 }
 
 TEST(Ensemble, MembersAreRecorded) {
@@ -104,6 +106,21 @@ TEST(Ensemble, DisabledMemberLeavesEmptySlot) {
   EXPECT_GT(e.value().knn_affinity[0].nnz(), 0u);
 }
 
+TEST(Ensemble, KnnOnlyLaplacianStaysSparse) {
+  // With only the pNN member, the joint Laplacian pattern is bounded by
+  // the symmetrised p-NN edges plus the diagonal — never densified.
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  EnsembleOptions opts = FastOptions();
+  opts.include_subspace = false;
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts);
+  ASSERT_TRUE(e.ok());
+  const std::size_t n = b.total_objects();
+  const std::size_t p = opts.knn.p;
+  EXPECT_GT(e.value().laplacian.nnz(), 0u);
+  EXPECT_LE(e.value().laplacian.nnz(), n * (2 * p + 1));
+}
+
 TEST(Ensemble, LaplacianIsPSD) {
   // Both members are symmetric-normalised Laplacians, so the ensemble
   // (a nonnegative combination) must be PSD.
@@ -111,7 +128,8 @@ TEST(Ensemble, LaplacianIsPSD) {
   fact::BlockStructure b = fact::BuildBlockStructure(d);
   Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, FastOptions());
   ASSERT_TRUE(e.ok());
-  Result<la::EigenSymResult> eig = la::EigenSym(e.value().laplacian);
+  Result<la::EigenSymResult> eig =
+      la::EigenSym(e.value().laplacian.ToDense());
   ASSERT_TRUE(eig.ok());
   EXPECT_GE(eig.value().eigenvalues.front(), -1e-8);
 }
@@ -127,7 +145,9 @@ TEST(Ensemble, AlphaZeroDropsSubspaceInfluence) {
   Result<HeterogeneousEnsemble> k = BuildEnsemble(d, b, knn_only);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(k.ok());
-  EXPECT_LT(la::MaxAbsDiff(a.value().laplacian, k.value().laplacian), 1e-12);
+  EXPECT_LT(la::MaxAbsDiff(a.value().laplacian.ToDense(),
+                           k.value().laplacian.ToDense()),
+            1e-12);
 }
 
 TEST(Ensemble, ReweightMatchesFreshBuild) {
@@ -144,8 +164,8 @@ TEST(Ensemble, ReweightMatchesFreshBuild) {
   Result<HeterogeneousEnsemble> reweighted =
       ReweightEnsemble(base.value(), b, 3.5);
   ASSERT_TRUE(reweighted.ok());
-  EXPECT_LT(la::MaxAbsDiff(fresh.value().laplacian,
-                           reweighted.value().laplacian),
+  EXPECT_LT(la::MaxAbsDiff(fresh.value().laplacian.ToDense(),
+                           reweighted.value().laplacian.ToDense()),
             1e-9);
   EXPECT_DOUBLE_EQ(reweighted.value().alpha, 3.5);
 }
@@ -178,7 +198,9 @@ TEST(Ensemble, BuildIsBitStableAcrossThreadCounts) {
   const HeterogeneousEnsemble serial = build(1);
   const HeterogeneousEnsemble threaded = build(4);
 
-  EXPECT_EQ(la::MaxAbsDiff(serial.laplacian, threaded.laplacian), 0.0);
+  ASSERT_EQ(serial.laplacian.nnz(), threaded.laplacian.nnz());
+  EXPECT_EQ(serial.laplacian.values(), threaded.laplacian.values());
+  EXPECT_EQ(serial.laplacian.col_indices(), threaded.laplacian.col_indices());
   for (std::size_t k = 0; k < 2; ++k) {
     EXPECT_EQ(la::MaxAbsDiff(serial.subspace_affinity[k],
                              threaded.subspace_affinity[k]),
@@ -206,7 +228,8 @@ TEST(Ensemble, ReweightIsBitStableAcrossThreadCounts) {
   };
   const HeterogeneousEnsemble serial = reweight(1);
   const HeterogeneousEnsemble threaded = reweight(4);
-  EXPECT_EQ(la::MaxAbsDiff(serial.laplacian, threaded.laplacian), 0.0);
+  ASSERT_EQ(serial.laplacian.nnz(), threaded.laplacian.nnz());
+  EXPECT_EQ(serial.laplacian.values(), threaded.laplacian.values());
 }
 
 TEST(Ensemble, FailsWithoutFeatures) {

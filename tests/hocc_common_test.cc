@@ -100,7 +100,7 @@ TEST(MultiplicativeGUpdate, DecreasesReconstructionObjective) {
 
   double prev = ReconstructionError(r, g, s);
   for (int it = 0; it < 25; ++it) {
-    MultiplicativeGUpdate(r, s, 0.0, nullptr, nullptr, 1e-12, &g);
+    MultiplicativeGUpdate(r, s, 1e-12, &g);
     const double now = ReconstructionError(r, g, s);
     EXPECT_LE(now, prev * (1.0 + 1e-9)) << "iteration " << it;
     prev = now;
@@ -116,7 +116,7 @@ TEST(MultiplicativeGUpdate, ZerosStayZero) {
   for (std::size_t i = 0; i < 6; ++i) g(i, 3) = 0.0;
   la::Matrix s = la::Matrix::RandomUniform(c, c, &rng);
   la::Matrix r = la::Matrix::RandomUniform(n, n, &rng);
-  MultiplicativeGUpdate(r, s, 0.0, nullptr, nullptr, 1e-12, &g);
+  MultiplicativeGUpdate(r, s, 1e-12, &g);
   for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(g(i, 3), 0.0);
   EXPECT_TRUE(g.IsNonNegative());
   EXPECT_TRUE(g.AllFinite());
@@ -152,7 +152,7 @@ TEST(MultiplicativeGUpdate, LaplacianTermPullsNeighboursTogether) {
   la::Matrix g_noreg = g0;
   for (int it = 0; it < 10; ++it) {
     MultiplicativeGUpdate(r, s, 5.0, &lap_pos, &lap_neg, 1e-12, &g_reg);
-    MultiplicativeGUpdate(r, s, 0.0, nullptr, nullptr, 1e-12, &g_noreg);
+    MultiplicativeGUpdate(r, s, 1e-12, &g_noreg);
   }
   EXPECT_LT(row_gap(g_reg), row_gap(g_noreg));
 }

@@ -96,6 +96,34 @@ TEST_F(IoTest, MatrixBinaryRejectsCorruption) {
   EXPECT_FALSE(ReadMatrixBinary(Path("trunc.bin")).ok());
 }
 
+TEST_F(IoTest, MatrixBinaryRejectsOverflowingShape) {
+  // rows = cols = 2³³ makes rows·cols wrap to zero in 64 bits; the header
+  // guard must reject each factor before multiplying instead of letting
+  // the wrapped product slip past and trigger a huge allocation.
+  {
+    std::ofstream f(Path("overflow.bin"), std::ios::binary);
+    f.write("RHM1", 4);
+    const uint64_t rows = 1ull << 33, cols = 1ull << 33;
+    f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
+  Result<la::Matrix> r = ReadMatrixBinary(Path("overflow.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("implausible shape"), std::string::npos);
+}
+
+TEST_F(IoTest, MatrixBinaryRejectsShortHeader) {
+  {
+    std::ofstream f(Path("short.bin"), std::ios::binary);
+    f.write("RHM1", 4);
+    const uint64_t rows = 3;  // cols missing entirely.
+    f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  }
+  Result<la::Matrix> r = ReadMatrixBinary(Path("short.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated header"), std::string::npos);
+}
+
 TEST_F(IoTest, LabelsRoundTrip) {
   std::vector<std::size_t> labels = {3, 0, 0, 7, 2};
   ASSERT_TRUE(WriteLabels(labels, Path("y.txt")).ok());
@@ -110,6 +138,51 @@ TEST_F(IoTest, LabelsRejectGarbage) {
     f << "1\nxyz\n";
   }
   EXPECT_FALSE(ReadLabels(Path("bad.txt")).ok());
+}
+
+TEST_F(IoTest, LabelsRejectTrailingJunkWithLineNumber) {
+  // std::stoul alone would parse "3abc" as 3; the strict parser rejects
+  // it and names the offending line.
+  {
+    std::ofstream f(Path("junk.txt"));
+    f << "1\n2\n3abc\n";
+  }
+  Result<std::vector<std::size_t>> r = ReadLabels(Path("junk.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(IoTest, LabelsRejectNegativeValues) {
+  // "-1" would wrap to a huge size_t through std::stoul.
+  {
+    std::ofstream f(Path("neg.txt"));
+    f << "0\n-1\n";
+  }
+  Result<std::vector<std::size_t>> r = ReadLabels(Path("neg.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(IoTest, LabelsAcceptWindowsLineEndingsAndPadding) {
+  {
+    std::ofstream f(Path("crlf.txt"), std::ios::binary);
+    f << "3\r\n 0 \r\n\r\n7\n";
+  }
+  Result<std::vector<std::size_t>> r = ReadLabels(Path("crlf.txt"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), (std::vector<std::size_t>{3, 0, 7}));
+}
+
+TEST_F(IoTest, LabelsRejectOutOfRangeValues) {
+  {
+    std::ofstream f(Path("huge.txt"));
+    f << "123456789012345678901234567890\n";  // > 2⁶⁴.
+  }
+  Result<std::vector<std::size_t>> r = ReadLabels(Path("huge.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
 }
 
 TEST_F(IoTest, DatasetRoundTrip) {

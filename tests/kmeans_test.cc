@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "cluster/assignments.h"
 #include "util/rng.h"
@@ -24,6 +28,36 @@ la::Matrix Blobs(std::size_t per_blob, Rng* rng) {
     }
   }
   return pts;
+}
+
+/// Squared distance from `pts` row i to `centroids` row c.
+double Dist2(const la::Matrix& pts, std::size_t i, const la::Matrix& centroids,
+             std::size_t c) {
+  double v = 0.0;
+  for (std::size_t j = 0; j < pts.cols(); ++j) {
+    const double diff = pts(i, j) - centroids(c, j);
+    v += diff * diff;
+  }
+  return v;
+}
+
+/// Sum over points of the squared distance to the nearest centroid, while
+/// asserting each point's assignment IS a nearest centroid — the
+/// (assignments, centroids) consistency invariant of KMeansResult.
+double RecomputeInertiaCheckingAssignments(const la::Matrix& pts,
+                                           const KMeansResult& r,
+                                           const std::string& context) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < r.centroids.rows(); ++c) {
+      best = std::min(best, Dist2(pts, i, r.centroids, c));
+    }
+    const double assigned = Dist2(pts, i, r.centroids, r.assignments[i]);
+    EXPECT_NEAR(assigned, best, 1e-12) << context << " point " << i;
+    total += assigned;
+  }
+  return total;
 }
 
 TEST(KMeans, RecoversSeparatedBlobs) {
@@ -116,6 +150,77 @@ TEST(KMeans, ValidationErrors) {
   opts.max_iterations = 10;
   opts.restarts = 0;
   EXPECT_FALSE(KMeans(pts, opts, &rng).ok());
+}
+
+TEST(KMeans, ReseedOscillationTerminatesAndStaysConsistent) {
+  // Four duplicate points and one outlier with k = 3: after seeding, the
+  // third centroid always duplicates an existing location, its cluster
+  // stays empty, and every update step reseeds it — the reseed
+  // oscillation. The solver must still terminate promptly (the fit is
+  // exact, so the empty-cluster escape applies) instead of spinning to
+  // the iteration cap, and the returned assignments must be consistent
+  // with the returned centroids — convergence is never declared on a
+  // reseed that the assignment step has not re-evaluated.
+  la::Matrix pts = la::Matrix::FromRows({{1.0}, {1.0}, {1.0}, {1.0}, {5.0}});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 2;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    Result<KMeansResult> r = KMeans(pts, opts, &rng);
+    ASSERT_TRUE(r.ok()) << "seed " << seed;
+    EXPECT_NEAR(r.value().inertia, 0.0, 1e-12) << "seed " << seed;
+    EXPECT_LT(r.value().iterations, opts.max_iterations) << "seed " << seed;
+    RecomputeInertiaCheckingAssignments(pts, r.value(),
+                                        "seed " + std::to_string(seed));
+  }
+}
+
+TEST(KMeans, LooseToleranceDoesNotStopOnAnUnevaluatedReseed) {
+  // With a tolerance far larger than any real improvement, the solver
+  // would previously break on the first small delta even when that very
+  // update step had just reseeded an empty cluster. The guard keeps
+  // iterating until an update with no reseed (or an exact fit), so the
+  // final inertia must never exceed a freshly recomputed assignment cost.
+  Rng data_rng(17);
+  la::Matrix pts = la::Matrix::RandomNormal(40, 2, &data_rng);
+  KMeansOptions opts;
+  opts.k = 8;
+  opts.restarts = 1;
+  opts.tolerance = 100.0;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    Result<KMeansResult> r = KMeans(pts, opts, &rng);
+    ASSERT_TRUE(r.ok()) << "seed " << seed;
+    const double recomputed = RecomputeInertiaCheckingAssignments(
+        pts, r.value(), "seed " + std::to_string(seed));
+    // The returned inertia was measured against pre-update centroids;
+    // the update (means, no unevaluated reseed) can only improve it.
+    EXPECT_LE(recomputed, r.value().inertia + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(KMeans, IterationCapExitReturnsConsistentBundle) {
+  // tolerance = 0 on noisy data forces the iteration-cap exit. The update
+  // step must not run after the final assignment, so the returned
+  // assignments, centroids and inertia describe the same state: each
+  // point sits on a nearest returned centroid and the inertia is exactly
+  // the recomputed assignment cost.
+  Rng data_rng(19);
+  la::Matrix pts = la::Matrix::RandomNormal(30, 2, &data_rng);
+  KMeansOptions opts;
+  opts.k = 6;
+  opts.restarts = 1;
+  opts.max_iterations = 3;
+  opts.tolerance = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Result<KMeansResult> r = KMeans(pts, opts, &rng);
+    ASSERT_TRUE(r.ok()) << "seed " << seed;
+    const double total = RecomputeInertiaCheckingAssignments(
+        pts, r.value(), "seed " + std::to_string(seed));
+    EXPECT_NEAR(total, r.value().inertia, 1e-9) << "seed " << seed;
+  }
 }
 
 TEST(KMeans, DuplicatePointsDoNotCrash) {

@@ -117,6 +117,47 @@ TEST(Laplacian, SparseAndDenseOverloadsAgree) {
   }
 }
 
+TEST(Laplacian, SparseOutputMatchesDenseForAllKinds) {
+  Rng rng(11);
+  la::Matrix b = la::Matrix::RandomUniform(12, 12, &rng);
+  la::Matrix w = la::Add(b, b.Transposed());
+  for (std::size_t i = 0; i < 12; ++i) w(i, i) = 0.0;
+  w.Apply([](double v) { return v < 1.2 ? 0.0 : v; });
+  la::SparseMatrix sparse = la::SparseMatrix::FromDense(w);
+  for (LaplacianKind kind :
+       {LaplacianKind::kUnnormalized, LaplacianKind::kSymmetric,
+        LaplacianKind::kRandomWalk}) {
+    Result<la::Matrix> dense = BuildLaplacian(sparse, kind);
+    Result<la::SparseMatrix> lean = BuildSparseLaplacian(sparse, kind);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(lean.ok()) << LaplacianKindName(kind);
+    EXPECT_LT(la::MaxAbsDiff(dense.value(), lean.value().ToDense()), 1e-12)
+        << LaplacianKindName(kind);
+    // The sparse result never widens beyond W's pattern plus the diagonal.
+    EXPECT_LE(lean.value().nnz(), sparse.nnz() + 12u);
+  }
+}
+
+TEST(Laplacian, SparseOutputHandlesIsolatedVertices) {
+  // Vertex 2 has no edges: normalised variants must leave its row (and
+  // diagonal) empty, the unnormalised variant stores no explicit zero.
+  std::vector<la::Triplet> trips = {{0, 1, 2.0}, {1, 0, 2.0}};
+  la::SparseMatrix w = la::SparseMatrix::FromTriplets(3, 3, trips);
+  for (LaplacianKind kind :
+       {LaplacianKind::kUnnormalized, LaplacianKind::kSymmetric,
+        LaplacianKind::kRandomWalk}) {
+    Result<la::SparseMatrix> l = BuildSparseLaplacian(w, kind);
+    ASSERT_TRUE(l.ok());
+    EXPECT_EQ(l.value().At(2, 2), 0.0) << LaplacianKindName(kind);
+    EXPECT_EQ(l.value().At(2, 0), 0.0) << LaplacianKindName(kind);
+  }
+}
+
+TEST(Laplacian, SparseOutputRejectsNonSquare) {
+  la::SparseMatrix w = la::SparseMatrix::FromTriplets(2, 3, {{0, 1, 1.0}});
+  EXPECT_FALSE(BuildSparseLaplacian(w, LaplacianKind::kSymmetric).ok());
+}
+
 TEST(Laplacian, ConnectedComponentsShowInSpectrum) {
   // Two disjoint edges -> two zero eigenvalues of the unnormalised L.
   la::Matrix w(4, 4);

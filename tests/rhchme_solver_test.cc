@@ -13,6 +13,8 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "la/gemm.h"
+#include "la/matrix.h"
+#include "scoped_num_threads.h"
 
 namespace rhchme {
 namespace core {
@@ -67,7 +69,8 @@ TEST(Rhchme, ProducesValidResult) {
   EXPECT_GT(h.iterations, 0);
   EXPECT_FALSE(h.objective_trace.empty());
   EXPECT_GT(h.seconds, 0.0);
-  EXPECT_EQ(r.value().error_matrix.rows(), 54u);
+  EXPECT_TRUE(r.value().HasErrorMatrix());
+  EXPECT_EQ(r.value().ErrorMatrix().rows(), 54u);
 }
 
 TEST(Rhchme, MembershipRowsAreL1Normalised) {
@@ -170,7 +173,7 @@ TEST(Rhchme, ErrorMatrixLocalisesOnCorruptedRows) {
   Rhchme solver(opts);
   Result<RhchmeResult> res = solver.Fit(d);
   ASSERT_TRUE(res.ok());
-  const la::Matrix& e = res.value().error_matrix;
+  const la::Matrix& e = res.value().ErrorMatrix();
 
   double bad_mass = 0.0, clean_mass = 0.0;
   std::size_t n_bad = 0, n_clean = 0;
@@ -251,7 +254,8 @@ TEST(Rhchme, DisablingErrorMatrixLeavesItEmpty) {
   Rhchme solver(opts);
   Result<RhchmeResult> r = solver.Fit(d);
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r.value().error_matrix.empty());
+  EXPECT_FALSE(r.value().HasErrorMatrix());
+  EXPECT_TRUE(r.value().ErrorMatrix().empty());
 }
 
 TEST(Rhchme, ConvergesBeforeIterationCapOnEasyData) {
@@ -275,6 +279,148 @@ TEST(Rhchme, RandomInitAlsoWorks) {
   Result<RhchmeResult> r = solver.Fit(d);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().hocc.g.AllFinite());
+}
+
+// ---- Memory-lean solver core -----------------------------------------------
+
+/// The implicit core (factored E_R, sparse Laplacian algebra) and the
+/// explicit-materialisation reference core run the same update algebra;
+/// their objective traces must agree to rounding (the Laplacian products
+/// and objective reductions use different summation orders, so exact
+/// equality is not expected).
+TEST(RhchmeImplicitCore, ObjectiveTraceMatchesExplicitCore) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 15;
+  opts.tolerance = 0.0;  // Fixed-length traces on both cores.
+
+  RhchmeOptions explicit_opts = opts;
+  explicit_opts.explicit_materialization = true;
+
+  Result<RhchmeResult> implicit_fit = Rhchme(opts).Fit(d);
+  Result<RhchmeResult> explicit_fit = Rhchme(explicit_opts).Fit(d);
+  ASSERT_TRUE(implicit_fit.ok());
+  ASSERT_TRUE(explicit_fit.ok());
+
+  const auto& ti = implicit_fit.value().hocc.objective_trace;
+  const auto& te = explicit_fit.value().hocc.objective_trace;
+  ASSERT_EQ(ti.size(), te.size());
+  for (std::size_t i = 0; i < ti.size(); ++i) {
+    const double rel = std::fabs(ti[i] - te[i]) / std::fabs(te[i]);
+    EXPECT_LT(rel, 1e-10) << "iteration " << i;
+  }
+  // The factored E_R must materialise to the explicit one.
+  EXPECT_LT(la::MaxAbsDiff(implicit_fit.value().ErrorMatrix(),
+                           explicit_fit.value().ErrorMatrix()),
+            1e-8);
+}
+
+TEST(RhchmeImplicitCore, LazyErrorMatrixMatchesFactoredForm) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const RhchmeResult& res = r.value();
+  ASSERT_TRUE(res.HasErrorMatrix());
+  ASSERT_EQ(res.error_scale.size(), res.error_residual.rows());
+  const la::Matrix& e = res.ErrorMatrix();
+  ASSERT_EQ(e.rows(), res.error_residual.rows());
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      EXPECT_EQ(e(i, j), res.error_scale[i] * res.error_residual(i, j));
+    }
+  }
+  // The accessor caches: a second call hands back the same matrix.
+  EXPECT_EQ(&res.ErrorMatrix(), &e);
+}
+
+/// Acceptance gate of the memory-lean core: the default path allocates
+/// exactly two dense n x n matrices per fit — the joint R and the shared
+/// M/Q workspace. No dense E_R, no dense ensemble Laplacian, no dense ±
+/// parts (la::memstats counts every Matrix construction/Resize of at
+/// least n² doubles).
+TEST(RhchmeImplicitCore, FitAllocatesOnlyTwoDenseNxN) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  RhchmeOptions opts = FastOptions();
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts.ensemble);
+  ASSERT_TRUE(e.ok());
+  const std::size_t n = b.total_objects();
+
+  Rhchme solver(opts);
+  la::memstats::StartTracking(n * n);
+  Result<RhchmeResult> r = solver.FitWithEnsemble(d, e.value());
+  la::memstats::StopTracking();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(la::memstats::LargeAllocations(), 2u);
+}
+
+/// The implicit core's kernels (fold, scale reduction, sparse SpMM and
+/// Sandwich) all chunk independently of the pool size, so the full fit is
+/// bit-identical across thread counts.
+TEST(RhchmeImplicitCore, FitIsBitStableAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 10;
+  opts.tolerance = 0.0;
+  auto fit = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    Result<RhchmeResult> r = Rhchme(opts).Fit(d);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  };
+  const RhchmeResult serial = fit(1);
+  const RhchmeResult threaded = fit(4);
+  EXPECT_EQ(serial.hocc.objective_trace, threaded.hocc.objective_trace);
+  EXPECT_EQ(la::MaxAbsDiff(serial.hocc.g, threaded.hocc.g), 0.0);
+  EXPECT_EQ(serial.error_scale, threaded.error_scale);
+  EXPECT_EQ(la::MaxAbsDiff(serial.error_residual, threaded.error_residual),
+            0.0);
+}
+
+/// Satellite guards: with the robust term off and lambda == 0, the fit
+/// must not touch E_R state or build Laplacian ± parts — on either core.
+TEST(RhchmeImplicitCore, DisabledTermsSkipTheirAllocations) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  RhchmeOptions opts = FastOptions();
+  opts.use_error_matrix = false;
+  opts.lambda = 0.0;
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts.ensemble);
+  ASSERT_TRUE(e.ok());
+  const std::size_t n = b.total_objects();
+
+  for (bool explicit_core : {false, true}) {
+    RhchmeOptions core_opts = opts;
+    core_opts.explicit_materialization = explicit_core;
+    Rhchme solver(core_opts);
+    la::memstats::StartTracking(n * n);
+    Result<RhchmeResult> r = solver.FitWithEnsemble(d, e.value());
+    la::memstats::StopTracking();
+    ASSERT_TRUE(r.ok()) << "explicit_core=" << explicit_core;
+    // Joint R + the residual workspace; nothing else reaches n².
+    EXPECT_EQ(la::memstats::LargeAllocations(), 2u)
+        << "explicit_core=" << explicit_core;
+    EXPECT_FALSE(r.value().HasErrorMatrix());
+  }
+}
+
+TEST(RhchmeObjective, SparseOverloadMatchesFinalTraceValue) {
+  // The public Eq. 15 helper, fed the fit's own factors and its sparse
+  // ensemble Laplacian, must reproduce the solver's last trace entry.
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 8;
+  opts.tolerance = 0.0;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const RhchmeResult& res = r.value();
+  const double objective = RhchmeObjective(
+      d.BuildJointR(), res.hocc.g, res.hocc.s, res.ErrorMatrix(),
+      res.ensemble.laplacian, opts.lambda, opts.beta);
+  const double traced = res.hocc.objective_trace.back();
+  EXPECT_NEAR(objective, traced, 1e-8 * std::fabs(traced));
 }
 
 TEST(RhchmeObjective, MatchesManualEvaluation) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "la/gemm.h"
 #include "scoped_num_threads.h"
 #include "util/rng.h"
@@ -319,6 +321,58 @@ TEST(SparseCsc, PruneSmallInvalidatesMirrorAndDropsEntries) {
   // Row offsets stay consistent after compaction.
   EXPECT_EQ(m.row_offsets().back(), 2u);
   EXPECT_EQ(m.BuildCscMirror().col_ptr.back(), 2u);
+}
+
+// ---- ±-split and Sandwich (memory-lean solver algebra) ---------------------
+
+TEST(Sparse, PositiveAndNegativePartsMatchDense) {
+  Rng rng(41);
+  Matrix d = Matrix::RandomNormal(7, 9, &rng);
+  d.Apply([](double v) { return std::fabs(v) < 0.8 ? 0.0 : v; });
+  SparseMatrix m = SparseMatrix::FromDense(d);
+  SparseMatrix pos = PositivePart(m);
+  SparseMatrix neg = NegativePart(m);
+  EXPECT_EQ(MaxAbsDiff(pos.ToDense(), PositivePart(d)), 0.0);
+  EXPECT_EQ(MaxAbsDiff(neg.ToDense(), NegativePart(d)), 0.0);
+  // The split partitions the pattern: pos and neg together hold exactly
+  // m's nonzeros, and both are entrywise nonnegative.
+  EXPECT_EQ(pos.nnz() + neg.nnz(), m.nnz());
+  for (double v : pos.values()) EXPECT_GT(v, 0.0);
+  for (double v : neg.values()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Sparse, PartsOfEmptyMatrixAreEmpty) {
+  SparseMatrix m;
+  EXPECT_EQ(PositivePart(m).nnz(), 0u);
+  EXPECT_EQ(NegativePart(m).nnz(), 0u);
+}
+
+TEST(Sparse, SandwichMatchesDenseKernel) {
+  Rng rng(42);
+  const std::size_t n = 24, c = 5;
+  Matrix l_dense = RandomSparseDense(n, n, 0.3, 43);
+  SparseMatrix l = SparseMatrix::FromDense(l_dense);
+  Matrix g = Matrix::RandomUniform(n, c, &rng);
+  EXPECT_NEAR(Sandwich(g, l), Sandwich(g, l_dense), 1e-10);
+}
+
+TEST(Sparse, SandwichEmptyIsZero) {
+  EXPECT_EQ(Sandwich(Matrix(), SparseMatrix()), 0.0);
+  SparseMatrix l = SparseMatrix::FromTriplets(4, 4, {});
+  EXPECT_EQ(Sandwich(Matrix(4, 3), l), 0.0);
+}
+
+TEST(Sparse, SandwichIsBitStableAcrossThreadCounts) {
+  const std::size_t n = 400, c = 12;
+  Matrix l_dense = RandomSparseDense(n, n, 0.05, 44);
+  SparseMatrix l = SparseMatrix::FromDense(l_dense);
+  Rng rng(45);
+  Matrix g = Matrix::RandomUniform(n, c, &rng);
+  auto run = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    return Sandwich(g, l);
+  };
+  EXPECT_EQ(run(1), run(4));
 }
 
 TEST(SparseCsc, CopySharesMirrorAndMutationDetaches) {
