@@ -102,6 +102,88 @@ void BM_Sandwich(benchmark::State& state) {
 }
 BENCHMARK(BM_Sandwich)->UseRealTime()->Arg(256)->Arg(1024);
 
+// ---- SIMD primitive microbenchmarks --------------------------------------
+// Scalar-vs-SIMD pairs for the la/simd.h kernels the GEMM / distance /
+// sparse hot loops are built from. Within one binary the "Simd" variants
+// run whatever path the build selected (see the `isa` label), so the pair
+// quantifies the vector-width win without needing a second build.
+
+std::vector<double> RandomVector(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+void SetSimdCounters(benchmark::State& state, double flops_per_iteration) {
+  SetKernelCounters(state, flops_per_iteration);
+  state.SetLabel(la::simd::IsaName());
+}
+
+void BM_DotSimd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a = RandomVector(n, 21), b = RandomVector(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::simd::Dot(a.data(), b.data(), n));
+  }
+  SetSimdCounters(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_DotSimd)->UseRealTime()->Arg(64)->Arg(4096);
+
+void BM_DotScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a = RandomVector(n, 21), b = RandomVector(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::simd::scalar::Dot(a.data(), b.data(), n));
+  }
+  SetSimdCounters(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_DotScalar)->UseRealTime()->Arg(64)->Arg(4096);
+
+void BM_AxpySimd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x = RandomVector(n, 23), y = RandomVector(n, 24);
+  for (auto _ : state) {
+    la::simd::Axpy(1.0000001, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetSimdCounters(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_AxpySimd)->UseRealTime()->Arg(64)->Arg(4096);
+
+void BM_AxpyScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x = RandomVector(n, 23), y = RandomVector(n, 24);
+  for (auto _ : state) {
+    la::simd::scalar::Axpy(1.0000001, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  SetSimdCounters(state, 2.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_AxpyScalar)->UseRealTime()->Arg(64)->Arg(4096);
+
+void BM_SquaredDistanceSimd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a = RandomVector(n, 25), b = RandomVector(n, 26);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::simd::SquaredDistance(a.data(), b.data(), n));
+  }
+  SetSimdCounters(state, 3.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SquaredDistanceSimd)->UseRealTime()->Arg(64)->Arg(4096);
+
+void BM_SquaredDistanceScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a = RandomVector(n, 25), b = RandomVector(n, 26);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::simd::scalar::SquaredDistance(a.data(), b.data(), n));
+  }
+  SetSimdCounters(state, 3.0 * static_cast<double>(n));
+}
+BENCHMARK(BM_SquaredDistanceScalar)->UseRealTime()->Arg(64)->Arg(4096);
+
 la::SparseMatrix RandomSparse(std::size_t rows, std::size_t cols,
                               std::size_t nnz_per_row, uint64_t seed) {
   Rng rng(seed);
@@ -343,6 +425,13 @@ BENCHMARK(BM_EigenSym)->UseRealTime()->Arg(32)->Arg(64)->Arg(128)
 // Custom main: mirror the console report into BENCH_kernels.json (in the
 // working directory) so perf runs leave a machine-readable artefact. A
 // caller-supplied --benchmark_out takes precedence.
+//
+// The JSON context gains two custom keys: `rhchme_build_type` records
+// whether *this binary* was optimised (NDEBUG) — the stock
+// `library_build_type` only reflects how the system's libbenchmark was
+// compiled (Debian ships it assertion-enabled, i.e. "debug", even for
+// Release user builds) — and `rhchme_simd` records the compiled kernel
+// ISA. tools/bench_compare.py keys off both.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = std::string("--benchmark_out=") + kJsonOutPath;
@@ -360,6 +449,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rhchme_build_type", "release");
+#else
+  benchmark::AddCustomContext("rhchme_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("rhchme_simd", la::simd::IsaName());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

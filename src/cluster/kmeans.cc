@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -10,12 +11,7 @@ namespace cluster {
 namespace {
 
 double SquaredDistance(const double* a, const double* b, std::size_t d) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < d; ++i) {
-    const double diff = a[i] - b[i];
-    s += diff * diff;
-  }
-  return s;
+  return la::simd::SquaredDistance(a, b, d);
 }
 
 /// k-means++: first centre uniform, then proportional to D².

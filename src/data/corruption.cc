@@ -15,13 +15,17 @@ std::vector<std::size_t> CorruptRows(la::Matrix* m,
       opts.row_fraction * static_cast<double>(n) + 0.5);
   if (n_corrupt == 0) return {};
 
-  // Scale spikes to the data's own magnitude.
+  // Scale spikes to the data's own magnitude. Row-wise: flat data()
+  // indexing would walk into the stride padding.
   double pos_sum = 0.0;
   std::size_t pos_cnt = 0;
-  for (std::size_t i = 0; i < m->size(); ++i) {
-    if (m->data()[i] > 0.0) {
-      pos_sum += m->data()[i];
-      ++pos_cnt;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* r = m->row_ptr(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) {
+      if (r[j] > 0.0) {
+        pos_sum += r[j];
+        ++pos_cnt;
+      }
     }
   }
   const double mean_pos = pos_cnt > 0 ? pos_sum / static_cast<double>(pos_cnt)
@@ -43,16 +47,24 @@ std::vector<std::size_t> CorruptRows(la::Matrix* m,
 
 void AddGaussianNoise(la::Matrix* m, double sigma, Rng* rng,
                       bool keep_nonnegative) {
-  for (std::size_t i = 0; i < m->size(); ++i) {
-    m->data()[i] += rng->Normal(0.0, sigma);
+  // Row-major logical order keeps the draw sequence identical to the
+  // unpadded layout.
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* r = m->row_ptr(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) {
+      r[j] += rng->Normal(0.0, sigma);
+    }
   }
   if (keep_nonnegative) m->ClampNonNegative();
 }
 
 void AddSparseSpikes(la::Matrix* m, double prob, double magnitude, Rng* rng) {
-  for (std::size_t i = 0; i < m->size(); ++i) {
-    if (rng->Uniform() < prob) {
-      m->data()[i] = magnitude * rng->Uniform();
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* r = m->row_ptr(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) {
+      if (rng->Uniform() < prob) {
+        r[j] = magnitude * rng->Uniform();
+      }
     }
   }
 }

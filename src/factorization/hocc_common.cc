@@ -160,15 +160,20 @@ void RatioUpdate(const la::Matrix& num, const la::Matrix& den, double eps,
                  la::Matrix* g) {
   RHCHME_CHECK(num.SameShape(den) && num.SameShape(*g),
                "RatioUpdate: shape mismatch");
-  const double* pn = num.data();
-  const double* pd = den.data();
-  double* pg = g->data();
-  util::ParallelFor(0, g->size(), util::GrainForWork(8),
-                    [&](std::size_t i0, std::size_t i1) {
-                      for (std::size_t i = i0; i < i1; ++i) {
-                        // Guard tiny negatives in the numerator.
-                        const double n = pn[i] > 0.0 ? pn[i] : 0.0;
-                        pg[i] *= std::sqrt(n / (pd[i] + eps));
+  // Row-wise: Matrix rows are stride-padded, so flat data() indexing would
+  // walk into the padding.
+  const std::size_t cols = g->cols();
+  util::ParallelFor(0, g->rows(), util::GrainForWork(8 * (cols + 1)),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        const double* pn = num.row_ptr(i);
+                        const double* pd = den.row_ptr(i);
+                        double* pg = g->row_ptr(i);
+                        for (std::size_t j = 0; j < cols; ++j) {
+                          // Guard tiny negatives in the numerator.
+                          const double n = pn[j] > 0.0 ? pn[j] : 0.0;
+                          pg[j] *= std::sqrt(n / (pd[j] + eps));
+                        }
                       }
                     });
 }

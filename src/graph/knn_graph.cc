@@ -5,6 +5,7 @@
 #include <numeric>
 #include <string>
 
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -49,9 +50,7 @@ la::Matrix PairwiseSquaredDistances(const la::Matrix& points) {
                     [&](std::size_t r0, std::size_t r1) {
                       for (std::size_t i = r0; i < r1; ++i) {
                         const double* r = points.row_ptr(i);
-                        double s = 0.0;
-                        for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
-                        sq[i] = s;
+                        sq[i] = la::simd::Dot(r, r, d);
                       }
                     });
   la::Matrix dist(n, n);
@@ -64,9 +63,7 @@ la::Matrix PairwiseSquaredDistances(const la::Matrix& points) {
         for (std::size_t i = r0; i < r1; ++i) {
           const double* ri = points.row_ptr(i);
           for (std::size_t j = i + 1; j < n; ++j) {
-            const double* rj = points.row_ptr(j);
-            double dot = 0.0;
-            for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+            const double dot = la::simd::Dot(ri, points.row_ptr(j), d);
             // max() guards the tiny negatives produced by cancellation.
             dist(i, j) = std::max(0.0, sq[i] + sq[j] - 2.0 * dot);
           }
@@ -83,9 +80,7 @@ la::Matrix PairwiseCosine(const la::Matrix& points) {
                     [&](std::size_t r0, std::size_t r1) {
                       for (std::size_t i = r0; i < r1; ++i) {
                         const double* r = points.row_ptr(i);
-                        double s = 0.0;
-                        for (std::size_t j = 0; j < d; ++j) s += r[j] * r[j];
-                        norm[i] = std::sqrt(s);
+                        norm[i] = std::sqrt(la::simd::Dot(r, r, d));
                       }
                     });
   la::Matrix cos(n, n);
@@ -99,9 +94,7 @@ la::Matrix PairwiseCosine(const la::Matrix& points) {
           const double* ri = points.row_ptr(i);
           for (std::size_t j = i + 1; j < n; ++j) {
             if (norm[j] == 0.0) continue;
-            const double* rj = points.row_ptr(j);
-            double dot = 0.0;
-            for (std::size_t k = 0; k < d; ++k) dot += ri[k] * rj[k];
+            const double dot = la::simd::Dot(ri, points.row_ptr(j), d);
             cos(i, j) = std::max(0.0, dot / (norm[i] * norm[j]));
           }
         }

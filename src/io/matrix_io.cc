@@ -72,8 +72,12 @@ Status WriteMatrixBinary(const la::Matrix& m, const std::string& path) {
   f.write(kMagic, sizeof(kMagic));
   f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
   f.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  f.write(reinterpret_cast<const char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  // Row by row: the on-disk format is densely packed, while in-memory rows
+  // are stride-padded for alignment.
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    f.write(reinterpret_cast<const char*>(m.row_ptr(i)),
+            static_cast<std::streamsize>(m.cols() * sizeof(double)));
+  }
   return f ? Status::OK() : Status::Internal("write failed for: " + path);
 }
 
@@ -100,9 +104,11 @@ Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
     return Status::InvalidArgument("implausible shape in: " + path);
   }
   la::Matrix m(rows, cols);
-  f.read(reinterpret_cast<char*>(m.data()),
-         static_cast<std::streamsize>(m.size() * sizeof(double)));
-  if (!f) return Status::InvalidArgument("truncated matrix in: " + path);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    f.read(reinterpret_cast<char*>(m.row_ptr(i)),
+           static_cast<std::streamsize>(m.cols() * sizeof(double)));
+    if (!f) return Status::InvalidArgument("truncated matrix in: " + path);
+  }
   return m;
 }
 

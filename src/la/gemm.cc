@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "la/aligned.h"
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -19,23 +21,222 @@ constexpr std::size_t kRowPanel = 32;
 constexpr std::size_t kBlockK = 64;
 constexpr std::size_t kBlockJ = 256;
 
+/// Zero fraction at or above which a (row panel x kBlockK) tile of A takes
+/// the zero-skipping scalar path. Membership blocks (one nonzero per row
+/// per type block) sit far above this; dense R products sit far below, so
+/// the probe rarely flips on borderline tiles.
+constexpr double kSparsePanelZeroFraction = 0.5;
+
+/// Cheap density probe: true when at least kSparsePanelZeroFraction of the
+/// A tile rows [p0, p1) x cols [kb, kend) is exactly zero. One pass over
+/// at most kRowPanel x kBlockK doubles — noise against the 2·rows·klen·n
+/// flops the tile is about to spend.
+bool PanelMostlyZero(const Matrix& a, std::size_t p0, std::size_t p1,
+                     std::size_t kb, std::size_t kend) {
+  std::size_t zeros = 0;
+  for (std::size_t i = p0; i < p1; ++i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t l = kb; l < kend; ++l) zeros += (ai[l] == 0.0);
+  }
+  const std::size_t total = (p1 - p0) * (kend - kb);
+  return static_cast<double>(zeros) >=
+         kSparsePanelZeroFraction * static_cast<double>(total);
+}
+
+/// Zero-skipping panel kernel: right for mostly-zero A tiles (membership
+/// blocks), where skipped rows save the whole B-row stream. The branch
+/// defeats vectorization of the l loop, which is why dense tiles bypass
+/// this kernel entirely.
+void GemmPanelSparse(const Matrix& a, const Matrix& b, Matrix* c,
+                     std::size_t p0, std::size_t p1, std::size_t kb,
+                     std::size_t kend) {
+  const std::size_t n = b.cols();
+  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
+    for (std::size_t i = p0; i < p1; ++i) {
+      const double* ai = a.row_ptr(i);
+      double* ci = c->row_ptr(i) + jb;
+      for (std::size_t l = kb; l < kend; ++l) {
+        const double ail = ai[l];
+        if (ail == 0.0) continue;
+        simd::Axpy(ail, b.row_ptr(l) + jb, ci, jlen);
+      }
+    }
+  }
+}
+
+#if RHCHME_SIMD_VECTOR
+
+// Packed register-blocked microkernel. B tiles are packed once per
+// (kBlockK x kBlockJ) block into column panels of kNr doubles — aligned,
+// contiguous, reused by every row microtile of the panel — and a
+// kMr x kNr register accumulator tile runs an FMA-fused reduction over
+// the block. Terms still enter "l ascending within kb, kb ascending",
+// but the rounding chain differs from the zero-skip path (fused FMA into
+// a zero-initialised register partial vs unfused in-place updates of C),
+// so the two paths are NOT bit-identical to each other. That is fine for
+// the determinism contract: the probe reads only A's content on the
+// global panel grid, never the thread count, so the path chosen for a
+// given tile — and the result — is the same for every pool size.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 2 * simd::kLanes;
+
+/// Packs B rows [kb, kend) x cols [jb, jb+jlen) into `pack`, laid out as
+/// ceil(jlen/kNr) panels of (klen x kNr); short trailing panels are
+/// zero-filled so the microkernel always loads full vectors.
+void PackB(const Matrix& b, std::size_t kb, std::size_t kend, std::size_t jb,
+           std::size_t jlen, double* pack) {
+  const std::size_t klen = kend - kb;
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = jb + p * kNr;
+    const std::size_t w = std::min(kNr, jb + jlen - j0);
+    double* dst = pack + p * klen * kNr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      const double* bl = b.row_ptr(kb + l) + j0;
+      for (std::size_t j = 0; j < w; ++j) dst[j] = bl[j];
+      for (std::size_t j = w; j < kNr; ++j) dst[j] = 0.0;
+      dst += kNr;
+    }
+  }
+}
+
+/// C row segment += accumulator pair, touching only the w real columns of
+/// a possibly short trailing panel.
+inline void AddTileRow(double* c, simd::Vec v0, simd::Vec v1, std::size_t w) {
+  if (w == kNr) {
+    simd::VStore(c, simd::VAdd(simd::VLoad(c), v0));
+    simd::VStore(c + simd::kLanes,
+                 simd::VAdd(simd::VLoad(c + simd::kLanes), v1));
+    return;
+  }
+  alignas(kAlignment) double t[kNr];
+  simd::VStore(t, v0);
+  simd::VStore(t + simd::kLanes, v1);
+  for (std::size_t j = 0; j < w; ++j) c[j] += t[j];
+}
+
+/// 4 x kNr register tile: 8 vector accumulators, two B loads and four
+/// broadcast-FMA pairs per reduction step.
+void MicroTile4(const double* a0, const double* a1, const double* a2,
+                const double* a3, const double* pb, std::size_t klen,
+                double* c0, double* c1, double* c2, double* c3,
+                std::size_t w) {
+  simd::Vec x00 = simd::VZero(), x01 = simd::VZero();
+  simd::Vec x10 = simd::VZero(), x11 = simd::VZero();
+  simd::Vec x20 = simd::VZero(), x21 = simd::VZero();
+  simd::Vec x30 = simd::VZero(), x31 = simd::VZero();
+  for (std::size_t l = 0; l < klen; ++l) {
+    const simd::Vec b0 = simd::VLoad(pb);
+    const simd::Vec b1 = simd::VLoad(pb + simd::kLanes);
+    pb += kNr;
+    simd::Vec av = simd::VSet1(a0[l]);
+    x00 = simd::VFma(av, b0, x00);
+    x01 = simd::VFma(av, b1, x01);
+    av = simd::VSet1(a1[l]);
+    x10 = simd::VFma(av, b0, x10);
+    x11 = simd::VFma(av, b1, x11);
+    av = simd::VSet1(a2[l]);
+    x20 = simd::VFma(av, b0, x20);
+    x21 = simd::VFma(av, b1, x21);
+    av = simd::VSet1(a3[l]);
+    x30 = simd::VFma(av, b0, x30);
+    x31 = simd::VFma(av, b1, x31);
+  }
+  AddTileRow(c0, x00, x01, w);
+  AddTileRow(c1, x10, x11, w);
+  AddTileRow(c2, x20, x21, w);
+  AddTileRow(c3, x30, x31, w);
+}
+
+/// 1 x kNr tail tile for the last rows() % kMr rows of a panel.
+void MicroTile1(const double* a0, const double* pb, std::size_t klen,
+                double* c0, std::size_t w) {
+  simd::Vec x0 = simd::VZero(), x1 = simd::VZero();
+  for (std::size_t l = 0; l < klen; ++l) {
+    const simd::Vec av = simd::VSet1(a0[l]);
+    x0 = simd::VFma(av, simd::VLoad(pb), x0);
+    x1 = simd::VFma(av, simd::VLoad(pb + simd::kLanes), x1);
+    pb += kNr;
+  }
+  AddTileRow(c0, x0, x1, w);
+}
+
+/// Dense-tile panel kernel: packs each B block once, then streams the
+/// panel's row microtiles over the packed panels.
+void GemmPanelDense(const Matrix& a, const Matrix& b, Matrix* c,
+                    std::size_t p0, std::size_t p1, std::size_t kb,
+                    std::size_t kend, AlignedVector<double>* pack) {
+  const std::size_t n = b.cols();
+  const std::size_t klen = kend - kb;
+  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
+    const std::size_t npanels = (jlen + kNr - 1) / kNr;
+    pack->resize(npanels * klen * kNr);
+    PackB(b, kb, kend, jb, jlen, pack->data());
+    for (std::size_t p = 0; p < npanels; ++p) {
+      const std::size_t j0 = jb + p * kNr;
+      const std::size_t w = std::min(kNr, jb + jlen - j0);
+      const double* pbp = pack->data() + p * klen * kNr;
+      std::size_t i = p0;
+      for (; i + kMr <= p1; i += kMr) {
+        MicroTile4(a.row_ptr(i) + kb, a.row_ptr(i + 1) + kb,
+                   a.row_ptr(i + 2) + kb, a.row_ptr(i + 3) + kb, pbp, klen,
+                   c->row_ptr(i) + j0, c->row_ptr(i + 1) + j0,
+                   c->row_ptr(i + 2) + j0, c->row_ptr(i + 3) + j0, w);
+      }
+      for (; i < p1; ++i) {
+        MicroTile1(a.row_ptr(i) + kb, pbp, klen, c->row_ptr(i) + j0, w);
+      }
+    }
+  }
+}
+
+#else  // !RHCHME_SIMD_VECTOR
+
+/// Scalar dense-tile kernel: the same loops as the sparse kernel minus the
+/// per-element zero test, which lets the compiler vectorize the j loop
+/// with whatever the baseline ISA offers.
+void GemmPanelDense(const Matrix& a, const Matrix& b, Matrix* c,
+                    std::size_t p0, std::size_t p1, std::size_t kb,
+                    std::size_t kend) {
+  const std::size_t n = b.cols();
+  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
+    for (std::size_t i = p0; i < p1; ++i) {
+      const double* ai = a.row_ptr(i);
+      double* ci = c->row_ptr(i) + jb;
+      for (std::size_t l = kb; l < kend; ++l) {
+        simd::Axpy(ai[l], b.row_ptr(l) + jb, ci, jlen);
+      }
+    }
+  }
+}
+
+#endif  // RHCHME_SIMD_VECTOR
+
 /// C rows [r0, r1) of C = A * B, tiled over the reduction and column dims.
+/// Walks kRowPanel sub-panels on the *global* row grid: ParallelFor chunk
+/// starts are always grain-aligned (even when ranges fuse on the inline
+/// path), so the sub-panel extents — and with them the per-tile
+/// sparse/dense probe decisions — are identical for every pool size.
 void GemmPanelNN(const Matrix& a, const Matrix& b, Matrix* c, std::size_t r0,
                  std::size_t r1) {
-  const std::size_t k = a.cols(), n = b.cols();
-  for (std::size_t kb = 0; kb < k; kb += kBlockK) {
-    const std::size_t kend = std::min(k, kb + kBlockK);
-    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
-      const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
-      for (std::size_t i = r0; i < r1; ++i) {
-        const double* ai = a.row_ptr(i);
-        double* ci = c->row_ptr(i) + jb;
-        for (std::size_t l = kb; l < kend; ++l) {
-          const double ail = ai[l];
-          if (ail == 0.0) continue;  // Membership blocks are mostly zero.
-          const double* bl = b.row_ptr(l) + jb;
-          for (std::size_t j = 0; j < jlen; ++j) ci[j] += ail * bl[j];
-        }
+  const std::size_t k = a.cols();
+#if RHCHME_SIMD_VECTOR
+  AlignedVector<double> pack;
+#endif
+  for (std::size_t p0 = r0; p0 < r1; p0 += kRowPanel) {
+    const std::size_t p1 = std::min(r1, p0 + kRowPanel);
+    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+      const std::size_t kend = std::min(k, kb + kBlockK);
+      if (PanelMostlyZero(a, p0, p1, kb, kend)) {
+        GemmPanelSparse(a, b, c, p0, p1, kb, kend);
+      } else {
+#if RHCHME_SIMD_VECTOR
+        GemmPanelDense(a, b, c, p0, p1, kb, kend, &pack);
+#else
+        GemmPanelDense(a, b, c, p0, p1, kb, kend);
+#endif
       }
     }
   }
@@ -97,8 +298,7 @@ void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
       for (std::size_t i = 0; i < m; ++i) {
         const double aki = ak[i];
         if (aki == 0.0) continue;
-        double* ci = c->row_ptr(i);
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+        simd::Axpy(aki, bk, c->row_ptr(i), n);
       }
     }
     return;
@@ -115,8 +315,7 @@ void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
         for (std::size_t i = 0; i < m; ++i) {
           const double aki = ak[i];
           if (aki == 0.0) continue;
-          double* ci = slot.row_ptr(i);
-          for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+          simd::Axpy(aki, bk, slot.row_ptr(i), n);
         }
       }
     }
@@ -137,10 +336,7 @@ void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
       const double* ai = a.row_ptr(i);
       double* ci = c->row_ptr(i);
       for (std::size_t j = 0; j < n; ++j) {
-        const double* bj = b.row_ptr(j);
-        double acc = 0.0;
-        for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
-        ci[j] = acc;
+        ci[j] = simd::Dot(ai, b.row_ptr(j), k);
       }
     }
   });
@@ -167,10 +363,7 @@ Matrix Gram(const Matrix& a) {
       const double* ati = at.row_ptr(i);
       double* gi = g.row_ptr(i);
       for (std::size_t j = i; j < n; ++j) {
-        const double* atj = at.row_ptr(j);
-        double acc = 0.0;
-        for (std::size_t l = 0; l < k; ++l) acc += ati[l] * atj[l];
-        gi[j] = acc;
+        gi[j] = simd::Dot(ati, at.row_ptr(j), k);
       }
     }
   });
@@ -188,43 +381,70 @@ Matrix Gram(const Matrix& a) {
 std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x) {
   RHCHME_CHECK(a.cols() == x.size(), "MultiplyVec: dims mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  util::ParallelFor(
-      0, a.rows(), util::GrainForWork(2 * a.cols() + 1),
-      [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          const double* ai = a.row_ptr(i);
-          double acc = 0.0;
-          for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
-          y[i] = acc;
-        }
-      });
+  util::ParallelFor(0, a.rows(), util::GrainForWork(2 * a.cols() + 1),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        y[i] = simd::Dot(a.row_ptr(i), x.data(), a.cols());
+                      }
+                    });
   return y;
 }
 
 std::vector<double> MultiplyTVec(const Matrix& a,
                                  const std::vector<double>& x) {
   RHCHME_CHECK(a.rows() == x.size(), "MultiplyTVec: dims mismatch");
-  // Serial: the scatter-accumulate into y is cheap (O(mk) on vectors) and
-  // would need per-thread copies of y to stay deterministic.
-  std::vector<double> y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_ptr(i);
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * ai[j];
+  const std::size_t kk = a.rows(), m = a.cols();
+  std::vector<double> y(m, 0.0);
+  if (kk == 0 || m == 0) return y;
+  // Same bounded per-chunk-accumulator pattern as MultiplyTNStreamInto:
+  // source-row chunks accumulate into their own m-vector, merged in chunk
+  // order. Chunk layout depends only on the shape (capped at kMaxChunks),
+  // and every y[j] sums rows in ascending order on both paths, so results
+  // are bit-identical for any pool size.
+  constexpr std::size_t kMaxChunks = 16;
+  const std::size_t cap_grain = (kk + kMaxChunks - 1) / kMaxChunks;
+  const std::size_t grain = std::max(util::GrainForWork(2 * m + 1), cap_grain);
+  const std::size_t nchunks = (kk + grain - 1) / grain;
+  if (nchunks <= 1) {
+    for (std::size_t i = 0; i < kk; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      simd::Axpy(xi, a.row_ptr(i), y.data(), m);
+    }
+    return y;
+  }
+  std::vector<std::vector<double>> partial(nchunks);
+  util::ParallelFor(0, kk, grain, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t cb = b0; cb < e0; cb += grain) {
+      std::vector<double>& slot = partial[cb / grain];
+      slot.assign(m, 0.0);
+      const std::size_t ce = std::min(e0, cb + grain);
+      for (std::size_t i = cb; i < ce; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        simd::Axpy(xi, a.row_ptr(i), slot.data(), m);
+      }
+    }
+  });
+  for (const std::vector<double>& slot : partial) {
+    simd::Add(y.data(), slot.data(), m);
   }
   return y;
 }
 
 double FrobeniusInner(const Matrix& a, const Matrix& b) {
   RHCHME_CHECK(a.SameShape(b), "FrobeniusInner: shape mismatch");
-  const double* pa = a.data();
-  const double* pb = b.data();
-  return util::ParallelSum(0, a.size(), util::kMinWorkPerChunk,
-                           [&](std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  if (a.rows() == 0 || cols == 0) return 0.0;
+  // Row-wise so the padded storage's stride never enters the sum; rows
+  // within a chunk accumulate in ascending order and ParallelSum merges
+  // chunk partials in chunk order.
+  return util::ParallelSum(0, a.rows(), util::GrainForWork(2 * cols),
+                           [&](std::size_t r0, std::size_t r1) {
                              double acc = 0.0;
-                             for (std::size_t i = i0; i < i1; ++i) {
-                               acc += pa[i] * pb[i];
+                             for (std::size_t i = r0; i < r1; ++i) {
+                               acc += simd::Dot(a.row_ptr(i), b.row_ptr(i),
+                                                cols);
                              }
                              return acc;
                            });
@@ -250,13 +470,9 @@ double Sandwich(const Matrix& g, const Matrix& l) {
       for (std::size_t t = 0; t < n; ++t) {
         const double lit = li[t];
         if (lit == 0.0) continue;  // Ensemble Laplacians are pNN-sparse.
-        const double* gt = g.row_ptr(t);
-        for (std::size_t j = 0; j < c; ++j) u[j] += lit * gt[j];
+        simd::Axpy(lit, g.row_ptr(t), u.data(), c);
       }
-      const double* gi = g.row_ptr(i);
-      double trace_i = 0.0;
-      for (std::size_t j = 0; j < c; ++j) trace_i += u[j] * gi[j];
-      acc += trace_i;
+      acc += simd::Dot(u.data(), g.row_ptr(i), c);
     }
     return acc;
   });

@@ -7,10 +7,19 @@
 // by util::SetNumThreads / the RHCHME_NUM_THREADS environment variable,
 // and grain sizes derive from util::GrainForWork (≈64K flops per chunk).
 //
+// Within each row panel the inner loops run on the SIMD microkernel layer
+// (la/simd.h): dense A tiles go through a packed register-blocked FMA
+// microkernel, mostly-zero tiles (membership blocks) keep a zero-skipping
+// scalar path, selected per tile by a cheap density probe. With
+// RHCHME_ENABLE_SIMD off everything falls back to portable scalar loops.
+//
 // Determinism: each output row is produced by exactly one chunk and its
-// accumulation order is fixed by the tile sizes, never by the thread count
-// or schedule, so results are bit-identical for any pool size. Shapes are
-// checked; `*Into` variants reuse the caller's output buffer.
+// accumulation order is fixed by compile-time tile constants and the
+// shape-only chunk layout, never by the thread count or schedule, so
+// results are bit-identical for any pool size *within a given build*
+// (vector and scalar builds reassociate reductions differently and are
+// not bit-comparable to each other). Shapes are checked; `*Into` variants
+// reuse the caller's output buffer.
 
 #ifndef RHCHME_LA_GEMM_H_
 #define RHCHME_LA_GEMM_H_
@@ -55,7 +64,10 @@ Matrix Gram(const Matrix& a);
 /// y = A * x. Requires a.cols() == x.size().
 std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x);
 
-/// y = Aᵀ * x. Requires a.rows() == x.size().
+/// y = Aᵀ * x. Requires a.rows() == x.size(). Source-row chunks scatter
+/// into bounded per-chunk accumulators (<= 16 output copies) merged in
+/// chunk order — the same pattern as MultiplyTNStreamInto — so results
+/// are bit-identical for any pool size.
 std::vector<double> MultiplyTVec(const Matrix& a,
                                  const std::vector<double>& x);
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -39,6 +40,11 @@ void NoteAlloc(std::size_t elements) {
 }  // namespace internal
 }  // namespace memstats
 
+// Storage invariant: rows are stride_-spaced and the padding columns
+// [cols_, stride_) of every row stay zero. Whole-buffer passes are legal
+// only for operations that map zeros to zeros (+, -, *s, ∘, clamp); every
+// other loop walks rows and touches logical columns only.
+
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
   Matrix m(rows.size(), rows[0].size());
@@ -64,28 +70,44 @@ Matrix Matrix::Diagonal(const std::vector<double>& diag) {
 Matrix Matrix::RandomUniform(std::size_t rows, std::size_t cols, Rng* rng,
                              double lo, double hi) {
   Matrix m(rows, cols);
-  for (double& v : m.data_) v = rng->Uniform(lo, hi);
+  // Row-major logical order keeps the draw sequence identical to the
+  // unpadded layout (seeded tests depend on it).
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* r = m.row_ptr(i);
+    for (std::size_t j = 0; j < cols; ++j) r[j] = rng->Uniform(lo, hi);
+  }
   return m;
 }
 
 Matrix Matrix::RandomNormal(std::size_t rows, std::size_t cols, Rng* rng,
                             double mean, double stddev) {
   Matrix m(rows, cols);
-  for (double& v : m.data_) v = rng->Normal(mean, stddev);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* r = m.row_ptr(i);
+    for (std::size_t j = 0; j < cols; ++j) r[j] = rng->Normal(mean, stddev);
+  }
   return m;
 }
 
-void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+void Matrix::Fill(double v) {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_ptr(i);
+    std::fill(r, r + cols_, v);
+  }
+}
 
 void Matrix::Resize(std::size_t rows, std::size_t cols) {
-  // A same-size Resize reuses the buffer (hot *Into kernels call it every
-  // iteration); only a shape change is a fresh acquisition.
-  if (rows * cols != data_.size()) {
+  // A same-footprint Resize reuses the buffer (hot *Into kernels call it
+  // every iteration); only a buffer change is a fresh acquisition. The
+  // tracked element count is logical (padding excluded).
+  const std::size_t stride = PaddedStride(cols);
+  if (rows * stride != data_.size()) {
     memstats::internal::NoteAlloc(rows * cols);
   }
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0);
+  stride_ = stride;
+  data_.assign(rows * stride, 0.0);
 }
 
 Matrix Matrix::Transposed() const {
@@ -140,41 +162,46 @@ std::vector<double> Matrix::Col(std::size_t j) const {
 
 void Matrix::Add(const Matrix& other) {
   RHCHME_CHECK(SameShape(other), "Add: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // Same shape implies same stride; 0+0 keeps the padding zero, so the
+  // whole padded buffer goes through one vector pass.
+  simd::Add(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::Sub(const Matrix& other) {
   RHCHME_CHECK(SameShape(other), "Sub: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::Sub(data_.data(), other.data_.data(), data_.size());
 }
 
-void Matrix::Scale(double s) {
-  for (double& v : data_) v *= s;
-}
+void Matrix::Scale(double s) { simd::Scale(data_.data(), s, data_.size()); }
 
 void Matrix::AddScaled(const Matrix& other, double s) {
   RHCHME_CHECK(SameShape(other), "AddScaled: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += s * other.data_[i];
-  }
+  simd::Axpy(s, other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::Hadamard(const Matrix& other) {
   RHCHME_CHECK(SameShape(other), "Hadamard: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  simd::Hadamard(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::Apply(const std::function<double(double)>& f) {
-  for (double& v : data_) v = f(v);
+  // f(0) may be nonzero, so only logical columns may be touched.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) r[j] = f(r[j]);
+  }
 }
 
 void Matrix::ClampNonNegative() {
-  for (double& v : data_) v = v < 0.0 ? 0.0 : v;
+  for (double& v : data_) v = v < 0.0 ? 0.0 : v;  // Padding: 0 -> 0.
 }
 
 double Matrix::FrobeniusNormSquared() const {
   double s = 0.0;
-  for (double v : data_) s += v * v;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    s += simd::Dot(r, r, cols_);
+  }
   return s;
 }
 
@@ -184,7 +211,10 @@ double Matrix::FrobeniusNorm() const {
 
 double Matrix::L1Norm() const {
   double s = 0.0;
-  for (double v : data_) s += std::fabs(v);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) s += std::fabs(r[j]);
+  }
   return s;
 }
 
@@ -192,34 +222,44 @@ double Matrix::L21Norm() const {
   double total = 0.0;
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* r = row_ptr(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) s += r[j] * r[j];
-    total += std::sqrt(s);
+    total += std::sqrt(simd::Dot(r, r, cols_));
   }
   return total;
 }
 
 double Matrix::Sum() const {
   double s = 0.0;
-  for (double v : data_) s += v;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) s += r[j];
+  }
   return s;
 }
 
 double Matrix::MaxAbs() const {
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) m = std::max(m, std::fabs(r[j]));
+  }
   return m;
 }
 
 double Matrix::Min() const {
-  double m = data_.empty() ? 0.0 : data_[0];
-  for (double v : data_) m = std::min(m, v);
+  double m = empty() ? 0.0 : data_[0];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) m = std::min(m, r[j]);
+  }
   return m;
 }
 
 double Matrix::Max() const {
-  double m = data_.empty() ? 0.0 : data_[0];
-  for (double v : data_) m = std::max(m, v);
+  double m = empty() ? 0.0 : data_[0];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) m = std::max(m, r[j]);
+  }
   return m;
 }
 
@@ -251,15 +291,21 @@ double Matrix::Trace() const {
 }
 
 bool Matrix::AllFinite() const {
-  for (double v : data_) {
-    if (!std::isfinite(v)) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (!std::isfinite(r[j])) return false;
+    }
   }
   return true;
 }
 
 bool Matrix::IsNonNegative(double tol) const {
-  for (double v : data_) {
-    if (v < -tol) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (r[j] < -tol) return false;
+    }
   }
   return true;
 }
@@ -267,8 +313,12 @@ bool Matrix::IsNonNegative(double tol) const {
 double Matrix::MaxAbsDiff(const Matrix& other) const {
   RHCHME_CHECK(SameShape(other), "MaxAbsDiff: shape mismatch");
   double m = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_ptr(i);
+    const double* b = other.row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      m = std::max(m, std::fabs(a[j] - b[j]));
+    }
   }
   return m;
 }
@@ -277,17 +327,14 @@ void Matrix::ScaleRows(const std::vector<double>& d) {
   RHCHME_CHECK(d.size() == rows_, "ScaleRows: size mismatch");
   for (std::size_t i = 0; i < rows_; ++i) {
     if (std::fabs(d[i]) < kScaleRowsEps) continue;
-    double inv = 1.0 / d[i];
-    double* r = row_ptr(i);
-    for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
+    simd::Scale(row_ptr(i), 1.0 / d[i], cols_);
   }
 }
 
 void Matrix::ScaleCols(const std::vector<double>& d) {
   RHCHME_CHECK(d.size() == cols_, "ScaleCols: size mismatch");
   for (std::size_t i = 0; i < rows_; ++i) {
-    double* r = row_ptr(i);
-    for (std::size_t j = 0; j < cols_; ++j) r[j] *= d[j];
+    simd::Hadamard(row_ptr(i), d.data(), cols_);
   }
 }
 
@@ -297,8 +344,7 @@ void Matrix::NormalizeRowsL1(std::size_t c0, std::size_t c1) {
     double s = 0.0;
     for (std::size_t j = 0; j < cols_; ++j) s += std::fabs(r[j]);
     if (s > kNormalizeRowsZeroTol) {
-      double inv = 1.0 / s;
-      for (std::size_t j = 0; j < cols_; ++j) r[j] *= inv;
+      simd::Scale(r, 1.0 / s, cols_);
     } else if (c1 > c0) {
       double u = 1.0 / static_cast<double>(c1 - c0);
       for (std::size_t j = c0; j < c1; ++j) r[j] = u;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "la/aligned.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -23,6 +24,9 @@ namespace la {
 /// dense n x n error matrix or Laplacian part. Off by default; when
 /// tracking, every Matrix construction or Resize that acquires at least
 /// `min_elements` doubles bumps a counter (relaxed atomics, thread-safe).
+/// Counted elements are logical (rows * cols) — row padding introduced by
+/// the aligned storage layout is excluded, so thresholds keyed to problem
+/// sizes (n²) keep their meaning.
 /// Plain copies/moves of an existing matrix are not counted — the
 /// contract covers explicit allocation sites, which is where solver
 /// working sets are created.
@@ -55,23 +59,35 @@ constexpr double kScaleRowsEps = 1e-300;
 /// fallback used for objects with no membership signal (paper Eq. 22).
 constexpr double kNormalizeRowsZeroTol = 0.0;
 
-/// Dense row-major matrix. Indices are 0-based; element (i,j) is
-/// `data()[i * cols() + j]`.
+/// Dense row-major matrix with aligned, padded row storage: the buffer is
+/// 64-byte aligned and the leading dimension (`stride()`) is `cols()`
+/// rounded up to a whole cache line of doubles, so every row starts on a
+/// 64-byte boundary. Indices are 0-based; element (i,j) is
+/// `data()[i * stride() + j]` — use `row_ptr(i)` / `operator()` rather
+/// than flat `data()` indexing. Padding columns (`cols() <= j < stride()`)
+/// are always zero; no consumer of logical values may read them.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
-  Matrix() : rows_(0), cols_(0) {}
+  Matrix() : rows_(0), cols_(0), stride_(0) {}
 
   /// rows x cols matrix, zero-initialised.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
-    memstats::internal::NoteAlloc(data_.size());
+      : rows_(rows),
+        cols_(cols),
+        stride_(PaddedStride(cols)),
+        data_(rows * stride_, 0.0) {
+    memstats::internal::NoteAlloc(rows * cols);
   }
 
   /// rows x cols matrix with every entry set to `fill`.
   Matrix(std::size_t rows, std::size_t cols, double fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
-    memstats::internal::NoteAlloc(data_.size());
+      : rows_(rows),
+        cols_(cols),
+        stride_(PaddedStride(cols)),
+        data_(rows * stride_, 0.0) {
+    memstats::internal::NoteAlloc(rows * cols);
+    Fill(fill);
   }
 
   /// Builds from nested initialiser-style rows; all rows must agree in size.
@@ -93,21 +109,26 @@ class Matrix {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
+  /// Number of logical elements (rows * cols), excluding row padding.
+  std::size_t size() const { return rows_ * cols_; }
+  /// Leading dimension in doubles: cols() padded to a whole cache line.
+  std::size_t stride() const { return stride_; }
+  /// Total buffer length in doubles (rows * stride), including padding.
+  std::size_t padded_size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
   double& operator()(std::size_t i, std::size_t j) {
-    return data_[i * cols_ + j];
+    return data_[i * stride_ + j];
   }
   double operator()(std::size_t i, std::size_t j) const {
-    return data_[i * cols_ + j];
+    return data_[i * stride_ + j];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* row_ptr(std::size_t i) { return data_.data() + i * cols_; }
+  double* row_ptr(std::size_t i) { return data_.data() + i * stride_; }
   const double* row_ptr(std::size_t i) const {
-    return data_.data() + i * cols_;
+    return data_.data() + i * stride_;
   }
 
   bool SameShape(const Matrix& other) const {
@@ -189,7 +210,8 @@ class Matrix {
  private:
   std::size_t rows_;
   std::size_t cols_;
-  std::vector<double> data_;
+  std::size_t stride_;
+  AlignedVector<double> data_;
 };
 
 // ---- Free-function helpers (value-returning) -----------------------------

@@ -1,0 +1,264 @@
+// Portable SIMD microkernel primitives for the dense/sparse hot loops.
+//
+// Three compile-time paths, selected by the RHCHME_ENABLE_SIMD CMake
+// option (which defines the RHCHME_ENABLE_SIMD macro and, on x86-64, adds
+// -mavx2 -mfma):
+//
+//   - AVX2 + FMA  (x86-64, 4 doubles/vector)
+//   - NEON        (aarch64, 2 doubles/vector)
+//   - scalar      (always available; the only path when the option is OFF)
+//
+// The scalar reference kernels under simd::scalar are compiled in every
+// build — they are the ground truth tests/simd_test.cc pins the vector
+// paths against, and the baseline the scalar-vs-SIMD benchmarks measure.
+//
+// Numerics contract (see docs/ARCHITECTURE.md "Kernel layer"):
+//   - Element-parallel kernels (Axpy, Add, Sub, Scale, Hadamard) perform
+//     exactly one multiply and/or add per element, in the same per-element
+//     operation order as the scalar reference — results are bit-identical
+//     to scalar within any build.
+//   - Reductions (Dot, SquaredDistance) reassociate the sum into a fixed
+//     number of lane accumulators combined in a fixed order. The order
+//     depends only on compile-time constants and the call's length, never
+//     on thread count, so results are bit-stable across pool sizes for a
+//     given build, but differ from the scalar chain by bounded rounding.
+//
+// All kernels accept unaligned pointers (la::Matrix rows are 64-byte
+// aligned, but callers may pass interior offsets); on modern cores an
+// unaligned load of an aligned address costs nothing.
+
+#ifndef RHCHME_LA_SIMD_H_
+#define RHCHME_LA_SIMD_H_
+
+#include <cstddef>
+
+#if defined(RHCHME_ENABLE_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#define RHCHME_SIMD_AVX2 1
+#define RHCHME_SIMD_VECTOR 1
+#include <immintrin.h>
+#elif defined(RHCHME_ENABLE_SIMD) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#define RHCHME_SIMD_NEON 1
+#define RHCHME_SIMD_VECTOR 1
+#include <arm_neon.h>
+#endif
+
+namespace rhchme {
+namespace la {
+namespace simd {
+
+// ---- Scalar reference kernels (always compiled) --------------------------
+
+namespace scalar {
+
+/// y[0..n) += a * x[0..n).
+inline void Axpy(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// Σ a[i]·b[i], single left-to-right accumulation chain.
+inline double Dot(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Σ (a[i]-b[i])², single left-to-right accumulation chain.
+inline double SquaredDistance(const double* a, const double* b,
+                              std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline void Add(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+inline void Sub(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+inline void Scale(double* y, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+inline void Hadamard(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+}  // namespace scalar
+
+// ---- Vector primitives ----------------------------------------------------
+
+#if RHCHME_SIMD_AVX2
+
+constexpr std::size_t kLanes = 4;
+using Vec = __m256d;
+
+inline Vec VZero() { return _mm256_setzero_pd(); }
+inline Vec VSet1(double v) { return _mm256_set1_pd(v); }
+inline Vec VLoad(const double* p) { return _mm256_loadu_pd(p); }
+inline void VStore(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+inline Vec VAdd(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+inline Vec VSub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
+inline Vec VMul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+/// a*b + c, fused (one rounding).
+inline Vec VFma(Vec a, Vec b, Vec c) { return _mm256_fmadd_pd(a, b, c); }
+
+/// Lane sum in fixed ascending-lane order: ((l0+l1)+l2)+l3.
+inline double VSumLanes(Vec v) {
+  alignas(32) double t[kLanes];
+  _mm256_store_pd(t, v);
+  return ((t[0] + t[1]) + t[2]) + t[3];
+}
+
+#elif RHCHME_SIMD_NEON
+
+constexpr std::size_t kLanes = 2;
+using Vec = float64x2_t;
+
+inline Vec VZero() { return vdupq_n_f64(0.0); }
+inline Vec VSet1(double v) { return vdupq_n_f64(v); }
+inline Vec VLoad(const double* p) { return vld1q_f64(p); }
+inline void VStore(double* p, Vec v) { vst1q_f64(p, v); }
+inline Vec VAdd(Vec a, Vec b) { return vaddq_f64(a, b); }
+inline Vec VSub(Vec a, Vec b) { return vsubq_f64(a, b); }
+inline Vec VMul(Vec a, Vec b) { return vmulq_f64(a, b); }
+inline Vec VFma(Vec a, Vec b, Vec c) { return vfmaq_f64(c, a, b); }
+
+inline double VSumLanes(Vec v) {
+  return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
+}
+
+#endif  // vector ISA
+
+// ---- Dispatching kernels --------------------------------------------------
+
+#if RHCHME_SIMD_VECTOR
+
+/// y[0..n) += a * x[0..n). Unfused multiply+add per element — bit-identical
+/// to scalar::Axpy in any build.
+inline void Axpy(double a, const double* x, double* y, std::size_t n) {
+  const Vec av = VSet1(a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    VStore(y + i, VAdd(VLoad(y + i), VMul(av, VLoad(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+/// Σ a[i]·b[i] with two FMA lane accumulators combined in fixed order:
+/// (acc0 + acc1) lane-summed ascending, then the scalar tail appended.
+inline double Dot(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = VZero(), acc1 = VZero();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = VFma(VLoad(a + i), VLoad(b + i), acc0);
+    acc1 = VFma(VLoad(a + i + kLanes), VLoad(b + i + kLanes), acc1);
+  }
+  double s = VSumLanes(VAdd(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Σ (a[i]-b[i])², same accumulator structure as Dot.
+inline double SquaredDistance(const double* a, const double* b,
+                              std::size_t n) {
+  Vec acc0 = VZero(), acc1 = VZero();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    const Vec d0 = VSub(VLoad(a + i), VLoad(b + i));
+    const Vec d1 = VSub(VLoad(a + i + kLanes), VLoad(b + i + kLanes));
+    acc0 = VFma(d0, d0, acc0);
+    acc1 = VFma(d1, d1, acc1);
+  }
+  double s = VSumLanes(VAdd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline void Add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    VStore(y + i, VAdd(VLoad(y + i), VLoad(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+inline void Sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    VStore(y + i, VSub(VLoad(y + i), VLoad(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+inline void Scale(double* y, double s, std::size_t n) {
+  const Vec sv = VSet1(s);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    VStore(y + i, VMul(VLoad(y + i), sv));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+inline void Hadamard(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    VStore(y + i, VMul(VLoad(y + i), VLoad(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+#else  // scalar fallback build
+
+constexpr std::size_t kLanes = 1;
+
+inline void Axpy(double a, const double* x, double* y, std::size_t n) {
+  scalar::Axpy(a, x, y, n);
+}
+inline double Dot(const double* a, const double* b, std::size_t n) {
+  return scalar::Dot(a, b, n);
+}
+inline double SquaredDistance(const double* a, const double* b,
+                              std::size_t n) {
+  return scalar::SquaredDistance(a, b, n);
+}
+inline void Add(double* y, const double* x, std::size_t n) {
+  scalar::Add(y, x, n);
+}
+inline void Sub(double* y, const double* x, std::size_t n) {
+  scalar::Sub(y, x, n);
+}
+inline void Scale(double* y, double s, std::size_t n) {
+  scalar::Scale(y, s, n);
+}
+inline void Hadamard(double* y, const double* x, std::size_t n) {
+  scalar::Hadamard(y, x, n);
+}
+
+#endif  // RHCHME_SIMD_VECTOR
+
+/// Human-readable name of the compiled kernel path.
+inline const char* IsaName() {
+#if RHCHME_SIMD_AVX2
+  return "avx2+fma";
+#elif RHCHME_SIMD_NEON
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_SIMD_H_

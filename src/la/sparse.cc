@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -325,9 +326,7 @@ void SparseMatrix::MultiplyDenseInto(const Matrix& b, Matrix* c) const {
         for (std::size_t i = r0; i < r1; ++i) {
           double* ci = c->row_ptr(i);
           for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-            const double v = values_[k];
-            const double* br = b.row_ptr(cols_idx_[k]);
-            for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+            simd::Axpy(values_[k], b.row_ptr(cols_idx_[k]), ci, n);
           }
         }
       });
@@ -358,9 +357,7 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
             double* cr = c->row_ptr(r);
             for (std::size_t k = csc->col_ptr[r]; k < csc->col_ptr[r + 1];
                  ++k) {
-              const double v = csc->values[k];
-              const double* br = b.row_ptr(csc->row_idx[k]);
-              for (std::size_t j = 0; j < n; ++j) cr[j] += v * br[j];
+              simd::Axpy(csc->values[k], b.row_ptr(csc->row_idx[k]), cr, n);
             }
           }
         });
@@ -377,9 +374,7 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
     for (std::size_t i = 0; i < rows_; ++i) {
       const double* bi = b.row_ptr(i);
       for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        const double v = values_[k];
-        double* cr = c->row_ptr(cols_idx_[k]);
-        for (std::size_t j = 0; j < n; ++j) cr[j] += v * bi[j];
+        simd::Axpy(values_[k], bi, c->row_ptr(cols_idx_[k]), n);
       }
     }
     return;
@@ -393,9 +388,7 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
       for (std::size_t i = cb; i < ce; ++i) {
         const double* bi = b.row_ptr(i);
         for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-          const double v = values_[k];
-          double* cr = slot.row_ptr(cols_idx_[k]);
-          for (std::size_t j = 0; j < n; ++j) cr[j] += v * bi[j];
+          simd::Axpy(values_[k], bi, slot.row_ptr(cols_idx_[k]), n);
         }
       }
     }
@@ -522,10 +515,7 @@ double Sandwich(const Matrix& g, const SparseMatrix& l) {
     for (std::size_t i = r0; i < r1; ++i) {
       const double* gi = g.row_ptr(i);
       for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
-        const double* gk = g.row_ptr(cols[k]);
-        double dot = 0.0;
-        for (std::size_t j = 0; j < c; ++j) dot += gi[j] * gk[j];
-        acc += vals[k] * dot;
+        acc += vals[k] * simd::Dot(gi, g.row_ptr(cols[k]), c);
       }
     }
     return acc;

@@ -18,9 +18,11 @@
 #define RHCHME_RHCHME_RHCHME_H_
 
 // Substrate: linear algebra, graphs, clustering.
+#include "la/aligned.h"
 #include "la/eigen_sym.h"
 #include "la/gemm.h"
 #include "la/matrix.h"
+#include "la/simd.h"
 #include "la/solve.h"
 #include "la/sparse.h"
 

@@ -100,8 +100,10 @@ TEST(GaussianNoise, ChangesRoughlyEveryEntry) {
   Rng rng(8);
   AddGaussianNoise(&m, 0.1, &rng);
   std::size_t changed = 0;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (m.data()[i] != 5.0) ++changed;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) != 5.0) ++changed;
+    }
   }
   EXPECT_GT(changed, 95u);
 }
@@ -111,8 +113,10 @@ TEST(SparseSpikes, ApproximatelyHonoursProbability) {
   Rng rng(9);
   AddSparseSpikes(&m, 0.1, 5.0, &rng);
   std::size_t spiked = 0;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (m.data()[i] != 0.0) ++spiked;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) != 0.0) ++spiked;
+    }
   }
   EXPECT_NEAR(static_cast<double>(spiked) / 10000.0, 0.1, 0.02);
   EXPECT_LE(m.Max(), 5.0);

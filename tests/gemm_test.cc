@@ -94,6 +94,19 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(0, 4, 3),       // empty output rows
                       std::make_tuple(3, 0, 4)));     // empty reduction
 
+// Microtile edges of the packed SIMD kernel: row counts straddling the
+// 4-row register tile, column counts straddling the vector-panel width
+// (kNr = 8 on AVX2, 4 on NEON) and the column block, and reduction depths
+// straddling the k tile.
+INSTANTIATE_TEST_SUITE_P(
+    MicroTileEdges, GemmShapeTest,
+    ::testing::Values(std::make_tuple(4, 64, 8),      // exact 4 x kNr tiles
+                      std::make_tuple(5, 64, 9),      // +1 row, +1 col
+                      std::make_tuple(3, 63, 7),      // -1 of everything
+                      std::make_tuple(37, 70, 23),    // nothing divides
+                      std::make_tuple(4, 1, 8),       // minimal reduction
+                      std::make_tuple(34, 129, 260)));  // tails in all dims
+
 TEST(Gemm, EmptyReductionYieldsZeroMatrix) {
   Matrix a(4, 0);
   Matrix b(0, 6);
@@ -218,6 +231,86 @@ TEST(Gemm, SparseInputsShortCircuit) {
   Matrix c = Multiply(a, b);
   EXPECT_DOUBLE_EQ(c(3, 9), 10.0);
   EXPECT_DOUBLE_EQ(c.Sum(), 10.0);
+}
+
+TEST(Gemm, MixedDensityTilesAgreeWithNaive) {
+  // A membership-like A: the left half is one-nonzero-per-row (sparse
+  // tiles take the zero-skip path), the right half dense (packed path).
+  // Both paths must land in the same product.
+  Rng rng(40);
+  const std::size_t n = 96;
+  Matrix a(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i % n) = rng.Uniform(0.5, 1.5);
+    for (std::size_t j = n; j < 2 * n; ++j) a(i, j) = rng.Normal(0.0, 1.0);
+  }
+  Matrix b = Matrix::RandomNormal(2 * n, 17, &rng);
+  EXPECT_LT(MaxAbsDiff(Multiply(a, b), NaiveMultiply(a, b)), 1e-9);
+}
+
+TEST(Gemm, MultiplyIsBitStableAcrossThreadCounts) {
+  // The density probe runs per 32-row panel on the global row grid, so
+  // sparse/dense path choices — and the result — cannot depend on how
+  // ParallelFor chunks the rows.
+  Rng rng(41);
+  Matrix a = Matrix::RandomNormal(150, 90, &rng);
+  // Zero a band so some panels probe sparse while others stay dense.
+  for (std::size_t i = 40; i < 100; ++i) {
+    for (std::size_t j = 0; j < 90; ++j) a(i, j) = (j % 19 == 0) ? a(i, j) : 0.0;
+  }
+  Matrix b = Matrix::RandomNormal(90, 70, &rng);
+  auto run = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    return Multiply(a, b);
+  };
+  EXPECT_EQ(MaxAbsDiff(run(1), run(4)), 0.0);
+}
+
+TEST(Gemm, FrobeniusInnerIgnoresRowPadding) {
+  // 5 columns forces a padded stride; the row-wise reduction must only
+  // see logical columns.
+  Rng rng(42);
+  Matrix a = Matrix::RandomNormal(9, 5, &rng);
+  Matrix b = Matrix::RandomNormal(9, 5, &rng);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) expected += a(i, j) * b(i, j);
+  }
+  EXPECT_NEAR(FrobeniusInner(a, b), expected, 1e-12);
+}
+
+TEST(Gemm, MultiplyTVecMatchesNaiveOnLargeInput) {
+  Rng rng(43);
+  const std::size_t rows = 700, cols = 41;
+  Matrix a = Matrix::RandomNormal(rows, cols, &rng);
+  std::vector<double> x(rows);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  std::vector<double> naive(cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) naive[j] += x[i] * a(i, j);
+  }
+  std::vector<double> got = MultiplyTVec(a, x);
+  ASSERT_EQ(got.size(), cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    EXPECT_NEAR(got[j], naive[j], 1e-9) << "j=" << j;
+  }
+}
+
+TEST(Gemm, MultiplyTVecIsBitStableAcrossThreadCounts) {
+  Rng rng(44);
+  Matrix a = Matrix::RandomNormal(900, 60, &rng);
+  std::vector<double> x(900);
+  for (double& v : x) v = rng.Normal(0.0, 1.0);
+  auto run = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    return MultiplyTVec(a, x);
+  };
+  const std::vector<double> serial = run(1);
+  const std::vector<double> pooled = run(4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t j = 0; j < serial.size(); ++j) {
+    EXPECT_EQ(serial[j], pooled[j]) << "j=" << j;
+  }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "util/rng.h"
 
@@ -260,6 +262,112 @@ TEST(Matrix, DebugStringMentionsShape) {
   Matrix m(3, 2, 1.0);
   std::string s = m.DebugString();
   EXPECT_NE(s.find("3x2"), std::string::npos);
+}
+
+// ---- Aligned, padded storage invariants ----------------------------------
+
+bool AllRowsAligned(const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (reinterpret_cast<std::uintptr_t>(m.row_ptr(i)) % kAlignment != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PaddingIsZero(const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row_ptr(i);
+    for (std::size_t j = m.cols(); j < m.stride(); ++j) {
+      if (r[j] != 0.0) return false;
+    }
+  }
+  return true;
+}
+
+TEST(MatrixAlignment, RowsAlignedAfterConstructResizeCopyMove) {
+  // 5 columns forces a padded stride (not a multiple of the cache line).
+  Matrix m(6, 5, 2.0);
+  EXPECT_EQ(m.stride(), PaddedStride(5));
+  EXPECT_TRUE(AllRowsAligned(m));
+
+  m.Resize(11, 3);
+  EXPECT_TRUE(AllRowsAligned(m));
+
+  Matrix copy = m;
+  EXPECT_TRUE(AllRowsAligned(copy));
+
+  Matrix moved = std::move(copy);
+  EXPECT_TRUE(AllRowsAligned(moved));
+}
+
+TEST(MatrixAlignment, SizeIsLogicalAndPaddedSizeCoversStride) {
+  Matrix m(4, 5);
+  EXPECT_EQ(m.size(), 20u);
+  EXPECT_EQ(m.padded_size(), 4 * m.stride());
+  EXPECT_GE(m.stride(), m.cols());
+}
+
+TEST(MatrixAlignment, PaddingStaysZeroThroughMutations) {
+  Rng rng(77);
+  Matrix m = Matrix::RandomUniform(5, 3, &rng, 0.5, 1.5);
+  EXPECT_TRUE(PaddingIsZero(m));
+
+  m.Fill(4.0);
+  EXPECT_TRUE(PaddingIsZero(m));
+
+  m.Scale(-2.0);  // Negative scale must not flip pad signs to nonzero.
+  EXPECT_TRUE(PaddingIsZero(m));
+
+  Matrix other = Matrix::RandomUniform(5, 3, &rng);
+  m.Add(other);
+  m.Sub(other);
+  m.Hadamard(other);
+  m.AddScaled(other, -0.3);
+  EXPECT_TRUE(PaddingIsZero(m));
+
+  // Apply maps 0 -> 1 on logical entries only; pad must not see f.
+  m.Apply([](double) { return 1.0; });
+  EXPECT_TRUE(PaddingIsZero(m));
+
+  m.NormalizeRowsL1(0, 3);
+  m.ScaleRows({1.0, 2.0, 3.0, 4.0, 5.0});
+  m.ScaleCols({1.0, 2.0, 3.0});
+  m.ClampNonNegative();
+  EXPECT_TRUE(PaddingIsZero(m));
+}
+
+TEST(MatrixAlignment, ReductionsIgnorePadding) {
+  // All-positive entries: any pad leakage would drag Min to 0 or inflate
+  // counts/sums.
+  Matrix m(3, 5, 2.0);
+  EXPECT_EQ(m.Min(), 2.0);
+  EXPECT_EQ(m.Max(), 2.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 30.0);
+  EXPECT_DOUBLE_EQ(m.L1Norm(), 30.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNormSquared(), 60.0);
+
+  // A NaN written into the pad through raw storage must stay invisible to
+  // the logical predicates (no consumer may read pad columns).
+  if (m.stride() > m.cols()) {
+    m.row_ptr(1)[m.cols()] = std::nan("");
+    EXPECT_TRUE(m.AllFinite());
+  }
+}
+
+TEST(MatrixAlignment, MemstatsCountsLogicalElementsNotPaddedBuffer) {
+  // 4x3 pads its buffer to 4*8 = 32 doubles; tracking with a threshold of
+  // 13 must NOT count it (logical size 12), proving memstats never sees
+  // the padding.
+  memstats::StartTracking(13);
+  { Matrix m(4, 3); }
+  EXPECT_EQ(memstats::LargeAllocations(), 0u);
+  memstats::StopTracking();
+
+  memstats::StartTracking(12);
+  { Matrix m(4, 3); }
+  EXPECT_EQ(memstats::LargeAllocations(), 1u);
+  memstats::StopTracking();
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Pins the SIMD kernel layer (la/simd.h) against its scalar references.
+//
+// Contract under test (docs/ARCHITECTURE.md "Kernel layer"):
+//   - element-parallel kernels (Axpy, Add, Sub, Scale, Hadamard) are
+//     bit-identical to scalar in every build;
+//   - reassociated reductions (Dot, SquaredDistance) match scalar within
+//     bounded rounding;
+//   - both hold for every tail width 1..2*vector-width+1 and beyond, so
+//     no lane remainder path is left uncovered.
+
+#include "la/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "la/aligned.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace la {
+namespace {
+
+// Widths covering every lane-remainder case of the widest path (AVX2 uses
+// two 4-lane accumulators, so the unrolled step is 8): 1..2*8+1.
+constexpr std::size_t kMaxWidth = 2 * 2 * 4 + 1;
+
+std::vector<double> RandomVec(std::size_t n, uint64_t seed, double lo = -1.0,
+                              double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+/// Rounding bound for a reassociated n-term sum of products whose terms
+/// are bounded by `term_mag`: a generous constant times n·eps·term_mag.
+double ReductionTol(std::size_t n, double term_mag) {
+  return 64.0 * static_cast<double>(n + 1) *
+         std::numeric_limits<double>::epsilon() * (term_mag + 1.0);
+}
+
+TEST(SimdKernels, AxpyMatchesScalarExactlyAtAllTailWidths) {
+  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+    std::vector<double> x = RandomVec(n, 100 + n);
+    std::vector<double> y0 = RandomVec(n, 200 + n);
+    std::vector<double> y1 = y0;
+    simd::Axpy(0.7318, x.data(), y0.data(), n);
+    simd::scalar::Axpy(0.7318, x.data(), y1.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y0[i], y1[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, ElementwiseKernelsMatchScalarExactly) {
+  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+    const std::vector<double> x = RandomVec(n, 300 + n);
+    const std::vector<double> base = RandomVec(n, 400 + n);
+
+    std::vector<double> a = base, b = base;
+    simd::Add(a.data(), x.data(), n);
+    simd::scalar::Add(b.data(), x.data(), n);
+    EXPECT_EQ(a, b) << "Add n=" << n;
+
+    a = base, b = base;
+    simd::Sub(a.data(), x.data(), n);
+    simd::scalar::Sub(b.data(), x.data(), n);
+    EXPECT_EQ(a, b) << "Sub n=" << n;
+
+    a = base, b = base;
+    simd::Scale(a.data(), -1.25, n);
+    simd::scalar::Scale(b.data(), -1.25, n);
+    EXPECT_EQ(a, b) << "Scale n=" << n;
+
+    a = base, b = base;
+    simd::Hadamard(a.data(), x.data(), n);
+    simd::scalar::Hadamard(b.data(), x.data(), n);
+    EXPECT_EQ(a, b) << "Hadamard n=" << n;
+  }
+}
+
+TEST(SimdKernels, DotMatchesScalarWithinRoundingAtAllTailWidths) {
+  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+    std::vector<double> a = RandomVec(n, 500 + n);
+    std::vector<double> b = RandomVec(n, 600 + n);
+    const double got = simd::Dot(a.data(), b.data(), n);
+    const double want = simd::scalar::Dot(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, ReductionTol(n, 1.0)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, SquaredDistanceMatchesScalarWithinRounding) {
+  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+    std::vector<double> a = RandomVec(n, 700 + n, 0.0, 3.0);
+    std::vector<double> b = RandomVec(n, 800 + n, 0.0, 3.0);
+    const double got = simd::SquaredDistance(a.data(), b.data(), n);
+    const double want = simd::scalar::SquaredDistance(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, ReductionTol(n, 9.0)) << "n=" << n;
+    EXPECT_GE(got, 0.0);
+  }
+}
+
+TEST(SimdKernels, DotOfLargeVectorStaysAccurate) {
+  const std::size_t n = 4097;  // Odd, exercises the tail after many lanes.
+  std::vector<double> a = RandomVec(n, 31);
+  std::vector<double> b = RandomVec(n, 32);
+  const double got = simd::Dot(a.data(), b.data(), n);
+  const double want = simd::scalar::Dot(a.data(), b.data(), n);
+  EXPECT_NEAR(got, want, ReductionTol(n, 1.0));
+}
+
+TEST(SimdKernels, ZeroLengthIsIdentity) {
+  double y = 3.0;
+  simd::Axpy(2.0, &y, &y, 0);
+  EXPECT_EQ(y, 3.0);
+  EXPECT_EQ(simd::Dot(&y, &y, 0), 0.0);
+  EXPECT_EQ(simd::SquaredDistance(&y, &y, 0), 0.0);
+}
+
+TEST(SimdKernels, IsaNameIsConsistentWithBuildFlags) {
+#if RHCHME_SIMD_VECTOR
+  EXPECT_GT(simd::kLanes, 1u);
+  EXPECT_STRNE(simd::IsaName(), "scalar");
+#else
+  EXPECT_EQ(simd::kLanes, 1u);
+  EXPECT_STREQ(simd::IsaName(), "scalar");
+#endif
+}
+
+// ---- Alignment & padding invariants of the storage layer -----------------
+
+TEST(AlignedStorage, PaddedStrideRoundsUpToCacheLine) {
+  EXPECT_EQ(PaddedStride(0), 0u);
+  EXPECT_EQ(PaddedStride(1), kAlignDoubles);
+  EXPECT_EQ(PaddedStride(kAlignDoubles), kAlignDoubles);
+  EXPECT_EQ(PaddedStride(kAlignDoubles + 1), 2 * kAlignDoubles);
+}
+
+TEST(AlignedStorage, AlignedVectorBufferIsAligned) {
+  AlignedVector<double> v(13, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u);
+}
+
+TEST(AlignedStorage, EveryMatrixRowIsCacheLineAligned) {
+  // Odd column count forces padding; every row must still be aligned.
+  Matrix m(7, 5);
+  EXPECT_EQ(m.stride(), kAlignDoubles);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row_ptr(i)) % kAlignment, 0u)
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace rhchme

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare a bench_kernels JSON run against the committed baseline.
+
+Guards the perf trajectory in CI:
+
+  * refuses to accept a current JSON produced by a **debug** build —
+    debug numbers are meaningless and silently poison the comparison;
+  * fails (exit 1) when any kernel present in both files regressed by
+    more than --threshold (default 25%) in real_time;
+  * benchmarks missing from either side are reported but never fatal,
+    so adding or retiring kernels does not break CI.
+
+Usage:
+  python3 tools/bench_compare.py \
+      [--current build/BENCH_kernels.json] \
+      [--baseline BENCH_kernels.baseline.json] \
+      [--threshold 0.25] [--allow-debug]
+
+Regenerating the baseline (Release build only):
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+  (cd build && ./bench_kernels --benchmark_min_time=0.1)
+  cp build/BENCH_kernels.json BENCH_kernels.baseline.json
+
+Cross-machine caveat: real_time is only comparable on similar hardware.
+The committed baseline tracks the reference dev machine; on very
+different hosts, regenerate the baseline locally before trusting the
+comparison (or raise --threshold).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns (context, {name: real_time}) for a google-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or "real_time" not in bench:
+            continue
+        times[name] = float(bench["real_time"])
+    return doc.get("context", {}), times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="build/BENCH_kernels.json",
+                        help="JSON produced by the run under test")
+    parser.add_argument("--baseline", default="BENCH_kernels.baseline.json",
+                        help="committed reference JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional real_time regression that fails "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="accept a debug-build current JSON (local "
+                             "debugging only; CI must not pass this)")
+    parser.add_argument("--allow-isa-mismatch", action="store_true",
+                        help="compare runs even when current and baseline "
+                             "were produced by different SIMD kernel paths "
+                             "(scalar vs avx2+fma vs neon)")
+    args = parser.parse_args()
+
+    try:
+        cur_ctx, current = load_benchmarks(args.current)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read --current {args.current}: {e}")
+        return 1
+    try:
+        base_ctx, baseline = load_benchmarks(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read --baseline {args.baseline}: {e}")
+        return 1
+
+    # rhchme_build_type (emitted by bench_kernels' main) records whether the
+    # *benchmark binary* was optimised and is authoritative when present;
+    # the stock library_build_type only reflects how the system libbenchmark
+    # was compiled (Debian/Ubuntu ship it assertion-enabled = "debug" even
+    # under a Release user build), so it is only consulted for old JSONs
+    # that predate the custom key.
+    if "rhchme_build_type" in cur_ctx:
+        build_key = "rhchme_build_type"
+    else:
+        build_key = "library_build_type"
+    build_type = str(cur_ctx.get(build_key, "unknown")).lower()
+    if build_type == "debug" and not args.allow_debug:
+        print(f"error: {args.current} was produced by a debug build "
+              f"(context.{build_key} = {build_type!r}); perf numbers "
+              "from unoptimised binaries are meaningless. Re-run "
+              "bench_kernels from a Release build (or pass --allow-debug "
+              "for local experiments).")
+        return 1
+
+    # A scalar-build run compared against the SIMD baseline (or vice versa)
+    # would report the ISA gap itself as a 4-5x "regression"; refuse unless
+    # explicitly overridden.
+    cur_isa = cur_ctx.get("rhchme_simd")
+    base_isa = base_ctx.get("rhchme_simd")
+    if (cur_isa is not None and base_isa is not None and cur_isa != base_isa
+            and not args.allow_isa_mismatch):
+        print(f"error: SIMD kernel path mismatch: current was built with "
+              f"{cur_isa!r} but the baseline with {base_isa!r}; the "
+              "comparison would measure the ISA gap, not a regression. "
+              "Rebuild with the matching RHCHME_ENABLE_SIMD setting, "
+              "regenerate the baseline, or pass --allow-isa-mismatch.")
+        return 1
+
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+
+    if not shared:
+        print("error: no benchmark names shared between current and "
+              "baseline; nothing to compare.")
+        return 1
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
+              f"{delta:>+7.1%}{flag}")
+
+    for name in only_current:
+        print(f"note: {name} has no baseline entry (new kernel?)")
+    for name in only_baseline:
+        print(f"note: {name} missing from current run (filtered out?)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
+              f"{args.threshold:.0%} in real_time:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+
+    print(f"\nOK: {len(shared)} kernels within {args.threshold:.0%} of "
+          "baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
