@@ -348,15 +348,23 @@ void BM_MultiplicativeIteration(benchmark::State& state) {
 BENCHMARK(BM_MultiplicativeIteration)->UseRealTime()->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
-/// Shared harness for the two solver-core benchmarks: a 3-type block
-/// world with a prebuilt ensemble, timed over a fixed 6-iteration
+/// Which solver core a BM_SolverIteration* variant exercises.
+enum class SolverCore { kImplicit, kExplicit, kSparseR };
+
+/// Shared harness for the solver-core benchmarks: a 3-type block world
+/// with a prebuilt ensemble, timed over a fixed 6-iteration
 /// FitWithEnsemble so per-fit times are directly comparable between the
-/// implicit (memory-lean) and explicit-materialisation cores.
-void RunSolverIterationBench(benchmark::State& state, bool explicit_core) {
+/// implicit (memory-lean), explicit-materialisation and sparse-R cores.
+/// `dropout` controls the joint R's fill — the default 0.3 matches the
+/// original pair of benchmarks; the tf-idf variant pushes it to 0.97 so
+/// the sparse core's O(nnz) iteration cost shows.
+void RunSolverIterationBench(benchmark::State& state, SolverCore solver_core,
+                             double dropout = 0.3) {
   const auto per_type = static_cast<std::size_t>(state.range(0));
   data::BlockWorldOptions data_opts;
   data_opts.objects_per_type = {per_type, per_type, per_type};
   data_opts.n_classes = 3;
+  data_opts.dropout = dropout;
   data_opts.seed = 19;
   data::MultiTypeRelationalData d =
       data::GenerateBlockWorld(data_opts).value();
@@ -366,7 +374,10 @@ void RunSolverIterationBench(benchmark::State& state, bool explicit_core) {
   opts.beta = 50.0;
   opts.max_iterations = 6;
   opts.tolerance = 0.0;  // Run all iterations.
-  opts.explicit_materialization = explicit_core;
+  opts.explicit_materialization = solver_core == SolverCore::kExplicit;
+  opts.sparse_r = solver_core == SolverCore::kSparseR
+                      ? core::SparseRMode::kAlways
+                      : core::SparseRMode::kNever;
   opts.ensemble.subspace.spg.max_iterations = 10;
   auto ensemble = core::BuildEnsemble(d, blocks, opts.ensemble);
   core::Rhchme solver(opts);
@@ -377,18 +388,45 @@ void RunSolverIterationBench(benchmark::State& state, bool explicit_core) {
   SetKernelCounters(state, 0.0);
   state.counters["solver_iters"] =
       benchmark::Counter(static_cast<double>(opts.max_iterations));
+  state.counters["r_density"] = benchmark::Counter(d.JointRDensity());
 }
 
 void BM_SolverIterationImplicit(benchmark::State& state) {
-  RunSolverIterationBench(state, /*explicit_core=*/false);
+  RunSolverIterationBench(state, SolverCore::kImplicit);
 }
 BENCHMARK(BM_SolverIterationImplicit)->UseRealTime()->Arg(64)->Arg(128)
     ->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_SolverIterationExplicit(benchmark::State& state) {
-  RunSolverIterationBench(state, /*explicit_core=*/true);
+  RunSolverIterationBench(state, SolverCore::kExplicit);
 }
 BENCHMARK(BM_SolverIterationExplicit)->UseRealTime()->Arg(64)->Arg(128)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIterationSparse(benchmark::State& state) {
+  // Sparse-R core on the same data as the dense pair: the apples-to-apples
+  // comparison at the default ~45% joint-R fill (the sparse core's
+  // worst case).
+  RunSolverIterationBench(state, SolverCore::kSparseR);
+}
+BENCHMARK(BM_SolverIterationSparse)->UseRealTime()->Arg(64)->Arg(128)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIterationSparseTfidf(benchmark::State& state) {
+  // Sparse-R core at tf-idf-like fill (~3%, below the kAuto threshold):
+  // the iteration cost is O(nnz + n·c) here, so this variant scales with
+  // the nonzero count rather than n².
+  RunSolverIterationBench(state, SolverCore::kSparseR, /*dropout=*/0.97);
+}
+BENCHMARK(BM_SolverIterationSparseTfidf)->UseRealTime()->Arg(64)->Arg(128)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIterationImplicitTfidf(benchmark::State& state) {
+  // Dense-implicit reference at the same tf-idf-like fill — the pair
+  // quantifies the sparse core's win where it is meant to live.
+  RunSolverIterationBench(state, SolverCore::kImplicit, /*dropout=*/0.97);
+}
+BENCHMARK(BM_SolverIterationImplicitTfidf)->UseRealTime()->Arg(64)->Arg(128)
     ->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_KMeans(benchmark::State& state) {

@@ -17,7 +17,64 @@ Status RhchmeOptions::Validate() const {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
   if (tolerance < 0.0) return Status::InvalidArgument("tolerance must be >= 0");
+  if (sparse_r_density_threshold < 0.0 || sparse_r_density_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "sparse_r_density_threshold must be in [0, 1]");
+  }
+  if (sparse_r == SparseRMode::kAlways && explicit_materialization) {
+    return Status::InvalidArgument(
+        "sparse_r == kAlways conflicts with explicit_materialization; the "
+        "reference core is inherently dense");
+  }
   return ensemble.Validate();
+}
+
+RhchmeResult::RhchmeResult(const RhchmeResult& other)
+    : hocc(other.hocc),
+      ensemble(other.ensemble),
+      error_scale(other.error_scale),
+      error_residual(other.error_residual),
+      error_sparse_r(other.error_sparse_r) {
+  std::lock_guard<std::mutex> lock(other.error_mu_);
+  error_dense_ = other.error_dense_;
+}
+
+RhchmeResult& RhchmeResult::operator=(const RhchmeResult& other) {
+  if (this == &other) return *this;
+  la::Matrix dense;
+  {
+    std::lock_guard<std::mutex> lock(other.error_mu_);
+    dense = other.error_dense_;
+  }
+  hocc = other.hocc;
+  ensemble = other.ensemble;
+  error_scale = other.error_scale;
+  error_residual = other.error_residual;
+  error_sparse_r = other.error_sparse_r;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  error_dense_ = std::move(dense);
+  return *this;
+}
+
+// Moves assume exclusive access to `other` (standard move contract), so
+// its cache slot is read without locking.
+RhchmeResult::RhchmeResult(RhchmeResult&& other) noexcept
+    : hocc(std::move(other.hocc)),
+      ensemble(std::move(other.ensemble)),
+      error_scale(std::move(other.error_scale)),
+      error_residual(std::move(other.error_residual)),
+      error_sparse_r(std::move(other.error_sparse_r)),
+      error_dense_(std::move(other.error_dense_)) {}
+
+RhchmeResult& RhchmeResult::operator=(RhchmeResult&& other) noexcept {
+  if (this == &other) return *this;
+  hocc = std::move(other.hocc);
+  ensemble = std::move(other.ensemble);
+  error_scale = std::move(other.error_scale);
+  error_residual = std::move(other.error_residual);
+  error_sparse_r = std::move(other.error_sparse_r);
+  error_dense_ = std::move(other.error_dense_);
+  return *this;
 }
 
 bool RhchmeResult::HasErrorMatrix() const {
@@ -25,21 +82,55 @@ bool RhchmeResult::HasErrorMatrix() const {
 }
 
 const la::Matrix& RhchmeResult::ErrorMatrix() const {
+  // The lazy build runs under the mutex so concurrent const readers are
+  // safe (same pattern as SparseMatrix::BuildCscMirror): at most one
+  // thread builds, the rest block and reuse the cached matrix, which is
+  // immutable afterwards.
+  std::lock_guard<std::mutex> lock(error_mu_);
   if (!error_dense_.empty() || error_scale.empty()) return error_dense_;
-  const std::size_t n = error_residual.rows();
-  const std::size_t cols = error_residual.cols();
-  error_dense_.Resize(n, cols);
-  util::ParallelFor(0, n, util::GrainForWork(2 * cols + 1),
-                    [&](std::size_t r0, std::size_t r1) {
-                      for (std::size_t i = r0; i < r1; ++i) {
-                        const double s = error_scale[i];
-                        const double* qi = error_residual.row_ptr(i);
-                        double* ei = error_dense_.row_ptr(i);
-                        for (std::size_t j = 0; j < cols; ++j) {
-                          ei[j] = s * qi[j];
+  if (!error_residual.empty()) {
+    // Implicit dense core: E_R = diag(s)·Q from the stored residual.
+    const std::size_t n = error_residual.rows();
+    const std::size_t cols = error_residual.cols();
+    error_dense_.Resize(n, cols);
+    util::ParallelFor(0, n, util::GrainForWork(2 * cols + 1),
+                      [&](std::size_t r0, std::size_t r1) {
+                        for (std::size_t i = r0; i < r1; ++i) {
+                          const double s = error_scale[i];
+                          const double* qi = error_residual.row_ptr(i);
+                          double* ei = error_dense_.row_ptr(i);
+                          for (std::size_t j = 0; j < cols; ++j) {
+                            ei[j] = s * qi[j];
+                          }
                         }
-                      }
-                    });
+                      });
+  } else {
+    // Sparse-R core: the fit never formed Q, so rebuild it from the
+    // stored sparse R and the final factors (Q = R − G·S·Gᵀ), then scale
+    // rows. This is the path's only dense n x n allocation, and it
+    // happens here, on demand.
+    const la::Matrix& g = hocc.g;
+    la::Matrix q = la::MultiplyNT(la::Multiply(g, hocc.s), g);  // G S Gᵀ
+    q.Scale(-1.0);
+    const std::vector<std::size_t>& offsets = error_sparse_r.row_offsets();
+    const std::vector<std::size_t>& cols = error_sparse_r.col_indices();
+    const std::vector<double>& vals = error_sparse_r.values();
+    util::ParallelFor(0, q.rows(), util::GrainForWork(2 * q.cols() + 1),
+                      [&](std::size_t r0, std::size_t r1) {
+                        for (std::size_t i = r0; i < r1; ++i) {
+                          double* qi = q.row_ptr(i);
+                          for (std::size_t k = offsets[i]; k < offsets[i + 1];
+                               ++k) {
+                            qi[cols[k]] += vals[k];
+                          }
+                          const double s = error_scale[i];
+                          for (std::size_t j = 0; j < q.cols(); ++j) {
+                            qi[j] *= s;
+                          }
+                        }
+                      });
+    error_dense_ = std::move(q);
+  }
   return error_dense_;
 }
 
@@ -81,6 +172,57 @@ double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
   return ObjectiveDataTerms(r, g, s, error_matrix, beta) + lambda * smooth;
 }
 
+double RhchmeObjective(const la::SparseMatrix& r, const la::Matrix& g,
+                       const la::Matrix& s,
+                       const std::vector<double>& error_scale,
+                       const la::SparseMatrix& laplacian, double lambda,
+                       double beta) {
+  const std::size_t n = g.rows();
+  const std::size_t c = g.cols();
+  RHCHME_CHECK(r.rows() == n && r.cols() == n,
+               "RhchmeObjective: R shape mismatch");
+  RHCHME_CHECK(error_scale.empty() || error_scale.size() == n,
+               "RhchmeObjective: error_scale size mismatch");
+  // The dense n x n residual is never formed: with H = G·S, K = R·G the
+  // residual row norms are ‖q_i‖² = ‖r_i‖² − 2·h_i·k_iᵀ + h_i·(GᵀG)·h_iᵀ,
+  // and E_R = diag(s)·Q makes the data and ℓ2,1 terms analytic —
+  // ‖Q − E_R‖²_F = Σ(1−s_i)²‖q_i‖², ‖E_R‖₂,₁ = Σ s_i‖q_i‖.
+  la::Matrix h = la::Multiply(g, s);
+  la::Matrix k = r.MultiplyDense(g);
+  la::Matrix hg = la::Multiply(h, la::Gram(g));
+  const std::vector<double> r_norm_sq = r.RowNormsSquared();
+  std::vector<double> row_norm(n, 0.0);
+  util::ParallelFor(0, n, util::GrainForWork(4 * c + 1),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        const double* hi = h.row_ptr(i);
+                        const double* ki = k.row_ptr(i);
+                        const double* hgi = hg.row_ptr(i);
+                        double hk = 0.0, hh = 0.0;
+                        for (std::size_t j = 0; j < c; ++j) {
+                          hk += hi[j] * ki[j];
+                          hh += hi[j] * hgi[j];
+                        }
+                        const double nsq = r_norm_sq[i] - 2.0 * hk + hh;
+                        row_norm[i] = nsq > 0.0 ? std::sqrt(nsq) : 0.0;
+                      }
+                    });
+  double data_term = 0.0;
+  double l21 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double norm = row_norm[i];
+    if (error_scale.empty()) {
+      data_term += norm * norm;
+    } else {
+      const double keep = 1.0 - error_scale[i];
+      data_term += keep * keep * norm * norm;
+      l21 += error_scale[i] * norm;
+    }
+  }
+  const double smooth = lambda != 0.0 ? la::Sandwich(g, laplacian) : 0.0;
+  return data_term + beta * l21 + lambda * smooth;
+}
+
 Result<RhchmeResult> Rhchme::Fit(
     const data::MultiTypeRelationalData& data) const {
   RHCHME_RETURN_IF_ERROR(opts_.Validate());
@@ -106,6 +248,25 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
   }
   const bool robust = opts_.use_error_matrix;
   const bool explicit_core = opts_.explicit_materialization;
+
+  // Core selection: sparse-R when forced, or when kAuto sees a joint R
+  // sparse enough that the O(nnz + n·c) path wins. The explicit reference
+  // core is inherently dense and takes precedence.
+  if (!explicit_core) {
+    bool sparse_core = false;
+    switch (opts_.sparse_r) {
+      case SparseRMode::kAlways:
+        sparse_core = true;
+        break;
+      case SparseRMode::kNever:
+        break;
+      case SparseRMode::kAuto:
+        sparse_core =
+            data.JointRDensity() <= opts_.sparse_r_density_threshold;
+        break;
+    }
+    if (sparse_core) return FitSparseR(data, ensemble, blocks);
+  }
 
   // Step 1 of Algorithm 2: the joint inter-type matrix R.
   const la::Matrix r = data.BuildJointR();
@@ -288,6 +449,194 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
       // second factor. Handing it to the result costs no copy.
       out.error_residual = std::move(work);
     }
+  }
+  return out;
+}
+
+Result<RhchmeResult> Rhchme::FitSparseR(
+    const data::MultiTypeRelationalData& data,
+    const HeterogeneousEnsemble& ensemble,
+    const fact::BlockStructure& blocks) const {
+  Stopwatch watch;
+  const std::size_t n = blocks.total_objects();
+  const std::size_t c = blocks.total_clusters();
+  const bool robust = opts_.use_error_matrix;
+
+  // Step 1: the joint R, sparse end-to-end. The CSC mirror is built once
+  // so every Rᵀ product of the fit runs the threaded gather path; the row
+  // norms ‖r_i‖² anchor the analytic residual norms all fit long.
+  la::SparseMatrix r = data.BuildJointRSparse();
+  r.BuildCscMirror();
+  const std::vector<double> r_norm_sq = r.RowNormsSquared();
+
+  la::SparseMatrix lap_pos, lap_neg;
+  if (opts_.lambda != 0.0) {
+    lap_pos = la::PositivePart(ensemble.laplacian);
+    lap_neg = la::NegativePart(ensemble.laplacian);
+  }
+
+  Rng rng(opts_.seed);
+  Result<la::Matrix> init =
+      fact::InitMembership(data, blocks, opts_.init, &rng);
+  if (!init.ok()) return init.status();
+  la::Matrix g = std::move(init).value();
+
+  // E_R stays doubly implicit: per-row scales s_i with
+  // E_R = diag(s)·(R − H·Gᵀ) — neither the error matrix nor the residual
+  // is ever formed.
+  std::vector<double> er_scale(robust ? n : 0, 0.0);
+  std::vector<double> row_norm(n, 0.0);
+  bool have_error = false;
+
+  RhchmeResult out;
+  out.ensemble = ensemble;
+  fact::HoccResult& res = out.hocc;
+  res.objective_trace.reserve(opts_.max_iterations);
+
+  // Low-rank iteration state, all n x c or c x c. K = R·G (the one SpMM
+  // per iteration), H = G·S, GᵀG and HG = H·(GᵀG) are computed right
+  // after each G update and double as the next iteration's implicit-M
+  // product inputs — M·G = K − diag(s)·(K − HG) needs exactly them.
+  la::Matrix s, h, k, hg, gtg;
+  la::Matrix mg, mtg, gs_scaled, scratch;
+  r.MultiplyDenseInto(g, &k);
+  gtg = la::Gram(g);
+
+  double prev_objective = std::numeric_limits<double>::infinity();
+  for (int t = 1; t <= opts_.max_iterations; ++t) {
+    // ---- M·G and Mᵀ·G from the implicit M = R − diag(s)·(R − H·Gᵀ) ------
+    const la::Matrix* m_g = &k;  // E_R = 0 (first iteration, or disabled).
+    if (robust && have_error) {
+      // mg_i = k_i − s_i·(k_i − hg_i): the E_R fold collapses to a row
+      // recombination of cached n x c state.
+      mg.Resize(n, c);
+      util::ParallelFor(0, n, util::GrainForWork(3 * c + 1),
+                        [&](std::size_t r0, std::size_t r1) {
+                          for (std::size_t i = r0; i < r1; ++i) {
+                            const double si = er_scale[i];
+                            const double* ki = k.row_ptr(i);
+                            const double* hgi = hg.row_ptr(i);
+                            double* mi = mg.row_ptr(i);
+                            for (std::size_t j = 0; j < c; ++j) {
+                              mi[j] = ki[j] - si * (ki[j] - hgi[j]);
+                            }
+                          }
+                        });
+      // Mᵀ·G = Rᵀ·G − Rᵀ·diag(s)·G + G·(Hᵀ·diag(s)·G): two gather-path
+      // transposed SpMMs (the scaled one never materialises diag(s)·R)
+      // plus a c x c recombination.
+      r.MultiplyTransposedDenseInto(g, &mtg);
+      r.MultiplyTransposedScaledDenseInto(er_scale, g, &scratch);
+      mtg.Sub(scratch);
+      gs_scaled.Resize(n, c);
+      util::ParallelFor(0, n, util::GrainForWork(2 * c + 1),
+                        [&](std::size_t r0, std::size_t r1) {
+                          for (std::size_t i = r0; i < r1; ++i) {
+                            const double si = er_scale[i];
+                            const double* gi = g.row_ptr(i);
+                            double* oi = gs_scaled.row_ptr(i);
+                            for (std::size_t j = 0; j < c; ++j) {
+                              oi[j] = si * gi[j];
+                            }
+                          }
+                        });
+      la::Matrix hts = la::MultiplyTN(h, gs_scaled);  // Hᵀ·diag(s)·G, c x c
+      mtg.Add(la::Multiply(g, hts));
+      m_g = &mg;
+    } else {
+      // M = R, so M·G is exactly the cached K (no copy); only Mᵀ·G needs
+      // the transposed product.
+      r.MultiplyTransposedDenseInto(g, &mtg);
+    }
+
+    // ---- Step 3: S update (Eq. 18) from the c x c products --------------
+    la::Matrix gtmg = la::MultiplyTN(g, *m_g);
+    Result<la::Matrix> s_new =
+        fact::SolveCentralSFromProducts(gtg, gtmg, opts_.ridge);
+    if (!s_new.ok()) return s_new.status();
+    s = std::move(s_new).value();
+
+    // ---- Step 4: multiplicative G update (Eq. 21) -----------------------
+    fact::MultiplicativeGUpdateFromProducts(*m_g, mtg, s, gtg, opts_.lambda,
+                                            &lap_pos, &lap_neg, opts_.mu_eps,
+                                            &g);
+
+    // ---- Step 5: row ℓ1 normalisation (Eq. 22) --------------------------
+    if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
+
+    // ---- Post-update low-rank state -------------------------------------
+    la::MultiplyInto(g, s, &h);      // H = G·S
+    r.MultiplyDenseInto(g, &k);      // K = R·G — the iteration's one SpMM
+    gtg = la::Gram(g);
+    la::MultiplyInto(h, gtg, &hg);   // H·(GᵀG)
+
+    // ---- Steps 6–7: E_R scales and objective, all analytic --------------
+    // ‖q_i‖² = ‖r_i‖² − 2·h_i·k_iᵀ + h_i·(GᵀG)·h_iᵀ — per-row dots of
+    // cached n x c state, staged row-indexed then reduced serially in row
+    // order (bit-identical for any pool size, like the dense cores).
+    util::ParallelFor(
+        0, n, util::GrainForWork(4 * c + 1),
+        [&](std::size_t r0, std::size_t r1) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            const double* hi = h.row_ptr(i);
+            const double* ki = k.row_ptr(i);
+            const double* hgi = hg.row_ptr(i);
+            double hk = 0.0, hh = 0.0;
+            for (std::size_t j = 0; j < c; ++j) {
+              hk += hi[j] * ki[j];
+              hh += hi[j] * hgi[j];
+            }
+            // The identity can dip below zero by rounding when a residual
+            // row vanishes; clamp before the square root.
+            const double nsq = r_norm_sq[i] - 2.0 * hk + hh;
+            row_norm[i] = nsq > 0.0 ? std::sqrt(nsq) : 0.0;
+          }
+        });
+    double data_term = 0.0;
+    double l21 = 0.0;
+    if (robust) {
+      have_error = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double norm = row_norm[i];
+        const double d_ii = 1.0 / (2.0 * norm + opts_.l21_zeta);
+        er_scale[i] = 1.0 / (opts_.beta * d_ii + 1.0);
+        const double keep = 1.0 - er_scale[i];
+        data_term += keep * keep * norm * norm;
+        l21 += er_scale[i] * norm;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        data_term += row_norm[i] * row_norm[i];
+      }
+    }
+
+    const double smooth =
+        opts_.lambda != 0.0 ? la::Sandwich(g, ensemble.laplacian) : 0.0;
+    const double objective =
+        data_term + opts_.beta * l21 + opts_.lambda * smooth;
+    res.objective_trace.push_back(objective);
+    res.iterations = t;
+    if (callback_) callback_(t, g);
+
+    const double rel = std::fabs(prev_objective - objective) /
+                       std::max(1.0, std::fabs(prev_objective));
+    if (std::isfinite(prev_objective) && rel < opts_.tolerance) {
+      res.converged = true;
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  res.g = std::move(g);
+  res.s = std::move(s);
+  res.labels = fact::ExtractLabels(blocks, res.g);
+  res.seconds = watch.ElapsedSeconds();
+  if (robust) {
+    out.error_scale = std::move(er_scale);
+    // The factored E_R's second factor is Q = R − G·S·Gᵀ, never formed on
+    // this core; hand the sparse R to the result so ErrorMatrix() can
+    // rebuild Q on demand.
+    out.error_sparse_r = std::move(r);
   }
   return out;
 }

@@ -17,33 +17,62 @@
 // Theorem 1 (monotone descent of Eq. 15 under updates 1–3, without the
 // normalisation step) is covered by property tests.
 //
-// Memory model (docs/ARCHITECTURE.md §Memory model): the default solver
-// core keeps exactly two dense n x n matrices alive per fit — the joint R
-// and one workspace that alternately holds M = R − E_R and the residual
-// Q = R − G·S·Gᵀ. Everything else stays factored or sparse: the Eq. 25–27
-// update makes E_R = diag(s)·Q with per-row scales
-// s_i = 1/(beta·d_ii + 1), so only the n scales are stored and the
-// objective terms are evaluated analytically
-// (‖Q − E_R‖²_F = Σ(1−s_i)²‖q_i‖², ‖E_R‖₂,₁ = Σ s_i‖q_i‖); the ensemble
-// Laplacian and its Eq. 21 ± parts stay sparse end-to-end. The
-// pre-refactor core that materialises dense E_R and dense Laplacian
-// parts is kept behind RhchmeOptions::explicit_materialization as the
-// equivalence/ablation reference.
+// Memory model (docs/ARCHITECTURE.md §Memory model): three solver cores
+// share the update algebra and differ only in how much of the O(n²)
+// state they materialise.
+//
+// - implicit (dense default): exactly two dense n x n matrices per fit —
+//   the joint R and one workspace that alternately holds M = R − E_R and
+//   the residual Q = R − G·S·Gᵀ. The Eq. 25–27 update makes
+//   E_R = diag(s)·Q with per-row scales s_i = 1/(beta·d_ii + 1), so only
+//   the n scales are stored and the objective terms are evaluated
+//   analytically (‖Q − E_R‖²_F = Σ(1−s_i)²‖q_i‖²,
+//   ‖E_R‖₂,₁ = Σ s_i‖q_i‖); the ensemble Laplacian and its Eq. 21 ±
+//   parts stay sparse end-to-end.
+// - sparse-R (RhchmeOptions::sparse_r, auto-enabled for tf-idf-sparse
+//   relations): the joint R stays a la::SparseMatrix and **no dense
+//   n x n matrix is allocated at all** — O(nnz + n·c) per fit. With
+//   H = G·S and K = R·G (one SpMM per iteration) every quantity the
+//   updates need is low-rank: M·G = K − diag(s)·(K − H·(GᵀG)), Mᵀ·G
+//   symmetrically via the CSC mirror, and the residual row norms follow
+//   from ‖q_i‖² = ‖r_i‖² − 2·h_i·k_iᵀ + h_i·(GᵀG)·h_iᵀ with cached
+//   sparse row norms ‖r_i‖².
+// - explicit (RhchmeOptions::explicit_materialization): the pre-refactor
+//   core that materialises dense E_R and dense Laplacian parts, kept as
+//   the equivalence/ablation reference.
 
 #ifndef RHCHME_CORE_RHCHME_SOLVER_H_
 #define RHCHME_CORE_RHCHME_SOLVER_H_
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "core/ensemble.h"
 #include "data/multitype_data.h"
 #include "factorization/hocc_common.h"
+#include "la/sparse.h"
 #include "util/status.h"
 
 namespace rhchme {
 namespace core {
+
+/// Joint-R representation policy: whether the fit runs the sparse-R
+/// solver core (R kept as la::SparseMatrix end-to-end, zero dense n x n
+/// allocations) or one of the dense-R cores.
+enum class SparseRMode {
+  /// Pick per dataset: sparse-R when the joint R's density is at most
+  /// RhchmeOptions::sparse_r_density_threshold, dense otherwise. The
+  /// default — tf-idf-like corpora get the O(nnz + n·c) path without any
+  /// caller opt-in, dense block worlds keep the dense kernels that beat
+  /// SpMM at high fill.
+  kAuto,
+  /// Always run the sparse-R core (equivalence tests, memory ceilings).
+  kAlways,
+  /// Never — keep the dense implicit (or explicit) core.
+  kNever,
+};
 
 struct RhchmeOptions {
   /// Manifold regularisation strength lambda. The paper tunes on
@@ -81,6 +110,14 @@ struct RhchmeOptions {
   /// dense footprint at R plus one workspace; the explicit core exists
   /// for equivalence tests and memory/perf ablations.
   bool explicit_materialization = false;
+  /// Sparse-R solver core selection (see SparseRMode). Ignored — with a
+  /// Validate error on kAlways — when explicit_materialization is set:
+  /// the reference core is inherently dense.
+  SparseRMode sparse_r = SparseRMode::kAuto;
+  /// Density cutoff (nnz / n²) for SparseRMode::kAuto. 5% keeps genuinely
+  /// sparse relations (tf-idf corpora sit well below 1%) on the sparse
+  /// core while dense synthetic block worlds stay on the dense kernels.
+  double sparse_r_density_threshold = 0.05;
 
   Status Validate() const;
 };
@@ -96,25 +133,43 @@ using IterationCallback =
 struct RhchmeResult {
   fact::HoccResult hocc;
   HeterogeneousEnsemble ensemble;    ///< The Laplacian ensemble used.
-  /// Final E_R in factored form: E_R = diag(error_scale) · error_residual,
-  /// where error_residual is the last residual Q = R − G·S·Gᵀ and
-  /// error_scale holds the per-row scales s_i of Eq. 25–27. Both are empty
-  /// when the robust term is disabled; the explicit-materialisation core
-  /// stores the dense E_R directly instead and leaves the residual empty.
+  /// Final E_R in factored form: E_R = diag(error_scale) · Q with the
+  /// per-row scales s_i of Eq. 25–27 and the last residual
+  /// Q = R − G·S·Gᵀ. The implicit dense core stores Q in error_residual;
+  /// the sparse-R core stores only the sparse joint R in error_sparse_r
+  /// (Q is rebuilt from R, g and s on demand — still O(nnz + n·c) at
+  /// rest); the explicit-materialisation core stores the dense E_R
+  /// directly and leaves both empty. error_scale is empty when the
+  /// robust term is disabled.
   std::vector<double> error_scale;
   la::Matrix error_residual;
+  la::SparseMatrix error_sparse_r;
 
-  /// True when a robust E_R was learned (either representation).
+  // ErrorMatrix()'s lazy cache adds a mutex, so the rule-of-five members
+  // are spelled out (same pattern as la::SparseMatrix's CSC cache).
+  RhchmeResult() = default;
+  RhchmeResult(const RhchmeResult& other);
+  RhchmeResult& operator=(const RhchmeResult& other);
+  RhchmeResult(RhchmeResult&& other) noexcept;
+  RhchmeResult& operator=(RhchmeResult&& other) noexcept;
+  ~RhchmeResult() = default;
+
+  /// True when a robust E_R was learned (any representation).
   bool HasErrorMatrix() const;
 
   /// Dense E_R, materialised on first call and cached — the solver itself
-  /// never allocates it on the default path. Returns an empty matrix when
-  /// the robust term was disabled. Not thread-safe: materialise from one
-  /// thread before sharing the result.
+  /// never allocates it on the default paths. Returns an empty matrix
+  /// when the robust term was disabled. Thread-safe: the lazy build is
+  /// internally synchronised (at most one thread builds, the rest reuse
+  /// the cached matrix), matching the library's "concurrent const access
+  /// is safe" contract.
   const la::Matrix& ErrorMatrix() const;
 
  private:
   friend class Rhchme;
+  /// Guards the lazy build of error_dense_ below; the built matrix is
+  /// immutable afterwards.
+  mutable std::mutex error_mu_;
   mutable la::Matrix error_dense_;   ///< Lazy cache for ErrorMatrix().
 };
 
@@ -142,6 +197,13 @@ class Rhchme {
   const RhchmeOptions& options() const { return opts_; }
 
  private:
+  /// The sparse-R core: joint R as la::SparseMatrix end-to-end, all
+  /// solver quantities from the low-rank identities in the header
+  /// comment. Allocates no dense n x n matrix (la::memstats-pinned).
+  Result<RhchmeResult> FitSparseR(const data::MultiTypeRelationalData& data,
+                                  const HeterogeneousEnsemble& ensemble,
+                                  const fact::BlockStructure& blocks) const;
+
   RhchmeOptions opts_;
   IterationCallback callback_;
 };
@@ -156,6 +218,19 @@ double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
 /// `HeterogeneousEnsemble::laplacian` without densifying it.
 double RhchmeObjective(const la::Matrix& r, const la::Matrix& g,
                        const la::Matrix& s, const la::Matrix& error_matrix,
+                       const la::SparseMatrix& laplacian, double lambda,
+                       double beta);
+
+/// Sparse-R overload — evaluates Eq. 15 against a sparse R and the
+/// factored E_R = diag(error_scale)·(R − G·S·Gᵀ) without materialising
+/// any dense n x n matrix: the residual row norms come from the analytic
+/// identity ‖q_i‖² = ‖r_i‖² − 2·h_i·k_iᵀ + h_i·(GᵀG)·h_iᵀ, so the data
+/// and ℓ2,1 terms are O(nnz + n·c²). Pass an empty `error_scale` for
+/// E_R = 0 (robust term disabled). Matches the dense overloads to
+/// rounding and the sparse-R fit's objective_trace exactly in structure.
+double RhchmeObjective(const la::SparseMatrix& r, const la::Matrix& g,
+                       const la::Matrix& s,
+                       const std::vector<double>& error_scale,
                        const la::SparseMatrix& laplacian, double lambda,
                        double beta);
 

@@ -46,11 +46,21 @@ bool MultiTypeRelationalData::HasRelation(std::size_t k, std::size_t l) const {
   return relations_.count({std::min(k, l), std::max(k, l)}) > 0;
 }
 
-la::Matrix MultiTypeRelationalData::Relation(std::size_t k,
-                                             std::size_t l) const {
+const la::Matrix& MultiTypeRelationalData::Relation(std::size_t k,
+                                                    std::size_t l) const {
   RHCHME_CHECK(HasRelation(k, l), "relation not set");
-  const la::Matrix& stored = relations_.at({std::min(k, l), std::max(k, l)});
-  return k < l ? stored : stored.Transposed();
+  RHCHME_CHECK(k < l,
+               "Relation(k, l) requires the stored orientation k < l; use "
+               "RelationTransposed for the reversed block");
+  return relations_.at({k, l});
+}
+
+la::Matrix MultiTypeRelationalData::RelationTransposed(std::size_t k,
+                                                       std::size_t l) const {
+  RHCHME_CHECK(HasRelation(k, l), "relation not set");
+  RHCHME_CHECK(k > l, "RelationTransposed(k, l) requires k > l; the stored "
+                      "orientation is available by reference via Relation");
+  return relations_.at({l, k}).Transposed();
 }
 
 std::size_t MultiTypeRelationalData::TotalObjects() const {
@@ -108,6 +118,24 @@ la::SparseMatrix MultiTypeRelationalData::BuildJointRSparse() const {
     }
   }
   return la::SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
+double MultiTypeRelationalData::JointRDensity() const {
+  const std::size_t n = TotalObjects();
+  if (n == 0) return 0.0;
+  std::size_t nnz = 0;
+  for (const auto& [key, block] : relations_) {
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      const double* row = block.row_ptr(i);
+      for (std::size_t j = 0; j < block.cols(); ++j) {
+        if (row[j] != 0.0) ++nnz;
+      }
+    }
+  }
+  // Each stored entry appears in both the (k, l) and the mirrored (l, k)
+  // block of the joint matrix.
+  return static_cast<double>(2 * nnz) /
+         (static_cast<double>(n) * static_cast<double>(n));
 }
 
 std::vector<std::size_t> MultiTypeRelationalData::JointLabels() const {

@@ -58,9 +58,17 @@ class MultiTypeRelationalData {
   /// True if the (k, l) relation (either orientation) was provided.
   bool HasRelation(std::size_t k, std::size_t l) const;
 
-  /// The (count_k x count_l) block; identity-transposes stored blocks on
-  /// demand. Requires HasRelation(k, l).
-  la::Matrix Relation(std::size_t k, std::size_t l) const;
+  /// The (count_k x count_l) block in its stored orientation (k < l),
+  /// returned by const reference — no copy. Requires HasRelation(k, l)
+  /// and k < l; for the reversed orientation use RelationTransposed,
+  /// which makes its O(count_k·count_l) transposed copy explicit at the
+  /// call site. The reference stays valid until the relation is replaced
+  /// via SetRelation.
+  const la::Matrix& Relation(std::size_t k, std::size_t l) const;
+
+  /// The (count_k x count_l) block for k > l: an explicit transposed copy
+  /// of the stored (l, k) block. Requires HasRelation(k, l) and k > l.
+  la::Matrix RelationTransposed(std::size_t k, std::size_t l) const;
 
   /// Total object count n = sum_k n_k.
   std::size_t TotalObjects() const;
@@ -80,6 +88,11 @@ class MultiTypeRelationalData {
 
   /// Sparse version of BuildJointR (drops exact zeros).
   la::SparseMatrix BuildJointRSparse() const;
+
+  /// Density of the joint R: nonzero entries / n², counted from the
+  /// stored blocks without building either representation. Drives the
+  /// solver's automatic sparse-R core selection.
+  double JointRDensity() const;
 
   /// Joint ground-truth labels offset per type; empty if any type lacks
   /// labels.

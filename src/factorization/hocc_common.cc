@@ -68,9 +68,18 @@ Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
   if (g.rows() != m.rows() || m.rows() != m.cols()) {
     return Status::InvalidArgument("SolveCentralS: shape mismatch");
   }
-  // S = (GᵀG + rI)⁻¹ Gᵀ M G (GᵀG + rI)⁻¹, evaluated as two solves.
   la::Matrix gtg = la::Gram(g);
   la::Matrix gtmg = la::MultiplyTN(g, la::Multiply(m, g));
+  return SolveCentralSFromProducts(gtg, gtmg, ridge);
+}
+
+Result<la::Matrix> SolveCentralSFromProducts(const la::Matrix& gtg,
+                                             const la::Matrix& gtmg,
+                                             double ridge) {
+  if (gtg.rows() != gtg.cols() || !gtg.SameShape(gtmg)) {
+    return Status::InvalidArgument("SolveCentralSFromProducts: shape mismatch");
+  }
+  // S = (GᵀG + rI)⁻¹ Gᵀ M G (GᵀG + rI)⁻¹, evaluated as two solves.
   Result<la::Matrix> left = la::SolveRidged(gtg, gtmg, ridge);
   if (!left.ok()) return left.status();
   // Right inverse: solve (GᵀG) Xᵀ = leftᵀ, i.e. X = left (GᵀG)⁻¹.
@@ -82,23 +91,21 @@ Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
 
 namespace {
 
-/// Data-term halves of Eq. 21, shared by the dense- and sparse-Laplacian
-/// overloads: num = A⁺ + G·B⁻ and den = A⁻ + G·B⁺ with the symmetrised
-/// gradient halves A and B of the header comment.
-void GUpdateDataTerms(const la::Matrix& m, const la::Matrix& s,
-                      const la::Matrix& g, la::Matrix* num, la::Matrix* den) {
+/// Data-term halves of Eq. 21 from precomputed gradient products:
+/// num = A⁺ + G·B⁻ and den = A⁻ + G·B⁺ with the symmetrised halves
+/// A = ½(mg·Sᵀ + mtg·S) and B of the header comment. Shared by every
+/// overload — the dense paths form mg/mtg from M, the sparse-R core from
+/// its low-rank identities; both already hold GᵀG.
+void GUpdateDataTermsFromProducts(const la::Matrix& mg, const la::Matrix& mtg,
+                                  const la::Matrix& s, const la::Matrix& gtg,
+                                  const la::Matrix& g, la::Matrix* num,
+                                  la::Matrix* den) {
   // A = ½ (M G Sᵀ + Mᵀ G S).
-  la::Matrix mg = la::Multiply(m, g);                   // n x c
-  la::Matrix mtg;                                       // n x c
-  // Streaming AᵀB: materialising Mᵀ here would be the iteration's only
-  // dense n x n temporary (M is the solver's full-size data matrix).
-  la::MultiplyTNStreamInto(m, g, &mtg);
   la::Matrix a = la::MultiplyNT(mg, s);                 // (M G) Sᵀ
   a.Add(la::Multiply(mtg, s));                          // + (Mᵀ G) S
   a.Scale(0.5);
 
   // B = ½ (Sᵀ GᵀG S + S GᵀG Sᵀ).
-  la::Matrix gtg = la::Gram(g);
   la::Matrix gtgs = la::Multiply(gtg, s);               // GᵀG S
   la::Matrix b = la::MultiplyTN(s, gtgs);               // Sᵀ GᵀG S
   la::Matrix gtgst = la::MultiplyNT(gtg, s);            // GᵀG Sᵀ
@@ -117,8 +124,13 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
                            double lambda, const la::Matrix* laplacian_pos,
                            const la::Matrix* laplacian_neg, double eps,
                            la::Matrix* g) {
+  la::Matrix mg = la::Multiply(m, *g);                  // n x c
+  la::Matrix mtg;                                       // n x c
+  // Streaming AᵀB: materialising Mᵀ here would be the iteration's only
+  // dense n x n temporary (M is the solver's full-size data matrix).
+  la::MultiplyTNStreamInto(m, *g, &mtg);
   la::Matrix num, den;
-  GUpdateDataTerms(m, s, *g, &num, &den);
+  GUpdateDataTermsFromProducts(mg, mtg, s, la::Gram(*g), *g, &num, &den);
   if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
     la::Matrix lg_neg = la::Multiply(*laplacian_neg, *g);
     lg_neg.Scale(lambda);
@@ -135,8 +147,24 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
                            const la::SparseMatrix* laplacian_pos,
                            const la::SparseMatrix* laplacian_neg, double eps,
                            la::Matrix* g) {
+  la::Matrix mg = la::Multiply(m, *g);                  // n x c
+  la::Matrix mtg;                                       // n x c
+  la::MultiplyTNStreamInto(m, *g, &mtg);
+  MultiplicativeGUpdateFromProducts(mg, mtg, s, la::Gram(*g), lambda,
+                                    laplacian_pos, laplacian_neg, eps, g);
+}
+
+void MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
+                                       const la::Matrix& mtg,
+                                       const la::Matrix& s,
+                                       const la::Matrix& gtg, double lambda,
+                                       const la::SparseMatrix* laplacian_pos,
+                                       const la::SparseMatrix* laplacian_neg,
+                                       double eps, la::Matrix* g) {
+  RHCHME_CHECK(mg.SameShape(*g) && mtg.SameShape(*g),
+               "MultiplicativeGUpdateFromProducts: shape mismatch");
   la::Matrix num, den;
-  GUpdateDataTerms(m, s, *g, &num, &den);
+  GUpdateDataTermsFromProducts(mg, mtg, s, gtg, *g, &num, &den);
   if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
     la::Matrix lg;                                      // n x c SpMM scratch
     laplacian_neg->MultiplyDenseInto(*g, &lg);

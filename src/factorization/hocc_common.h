@@ -56,6 +56,15 @@ Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
 Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
                                  double ridge = 1e-9);
 
+/// Product-form Eq. 18: the same closed form from the precomputed c x c
+/// factors `gtg` = GᵀG and `gtmg` = Gᵀ·M·G. This is the seam the
+/// implicit-M solver cores plug into — the sparse-R core evaluates
+/// Gᵀ·M·G from low-rank identities without ever forming M, then hands
+/// the c x c pieces here. SolveCentralS is a thin wrapper around it.
+Result<la::Matrix> SolveCentralSFromProducts(const la::Matrix& gtg,
+                                             const la::Matrix& gtmg,
+                                             double ridge = 1e-9);
+
 /// One multiplicative update of G (paper Eq. 21) for the objective
 ///   ‖M − G·S·Gᵀ‖²_F + lambda·tr(Gᵀ·L·G):
 ///   G ← G ∘ sqrt( (lambda·L⁻·G + A⁺ + G·B⁻) / (lambda·L⁺·G + A⁻ + G·B⁺) )
@@ -80,6 +89,22 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
                            const la::SparseMatrix* laplacian_pos,
                            const la::SparseMatrix* laplacian_neg, double eps,
                            la::Matrix* g);
+
+/// Product-form Eq. 21: the same update from precomputed gradient halves
+/// `mg` = M·G and `mtg` = Mᵀ·G (both n x c) and `gtg` = GᵀG instead of M
+/// itself — the seam shared with the sparse-R solver core, which
+/// evaluates the products in O(nnz + n·c²) via the implicit
+/// M = R − diag(s)·(R − H·Gᵀ) and never materialises a dense M (and
+/// already holds GᵀG from the S solve). `g` must be the same membership
+/// every product was formed against. Laplacian handling matches the
+/// sparse overload above.
+void MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
+                                       const la::Matrix& mtg,
+                                       const la::Matrix& s,
+                                       const la::Matrix& gtg, double lambda,
+                                       const la::SparseMatrix* laplacian_pos,
+                                       const la::SparseMatrix* laplacian_neg,
+                                       double eps, la::Matrix* g);
 
 /// No-regulariser convenience (lambda = 0): data terms only. Avoids the
 /// nullptr-overload ambiguity at call sites without a Laplacian.

@@ -338,8 +338,11 @@ Matrix SparseMatrix::MultiplyDense(const Matrix& b) const {
   return c;
 }
 
-void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
-                                               Matrix* c) const {
+// Shared body of the two transposed products: Aᵀ·B, with source row i
+// scaled by row_scale[i] when row_scale != nullptr (Aᵀ·diag(d)·B).
+void SparseMatrix::TransposedDenseProductInto(const double* row_scale,
+                                              const Matrix& b,
+                                              Matrix* c) const {
   RHCHME_CHECK(b.rows() == rows_, "MultiplyTransposedDense: dims mismatch");
   c->Resize(cols_, b.cols());
   const std::size_t n = b.cols();
@@ -355,9 +358,19 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
         [&](std::size_t c0, std::size_t c1) {
           for (std::size_t r = c0; r < c1; ++r) {
             double* cr = c->row_ptr(r);
-            for (std::size_t k = csc->col_ptr[r]; k < csc->col_ptr[r + 1];
-                 ++k) {
-              simd::Axpy(csc->values[k], b.row_ptr(csc->row_idx[k]), cr, n);
+            if (row_scale == nullptr) {
+              // Hot unscaled path: no per-nonzero multiply.
+              for (std::size_t k = csc->col_ptr[r]; k < csc->col_ptr[r + 1];
+                   ++k) {
+                simd::Axpy(csc->values[k], b.row_ptr(csc->row_idx[k]), cr, n);
+              }
+            } else {
+              for (std::size_t k = csc->col_ptr[r]; k < csc->col_ptr[r + 1];
+                   ++k) {
+                const std::size_t src = csc->row_idx[k];
+                simd::Axpy(csc->values[k] * row_scale[src], b.row_ptr(src),
+                           cr, n);
+              }
             }
           }
         });
@@ -373,8 +386,15 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
   if (nchunks <= 1) {
     for (std::size_t i = 0; i < rows_; ++i) {
       const double* bi = b.row_ptr(i);
-      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        simd::Axpy(values_[k], bi, c->row_ptr(cols_idx_[k]), n);
+      if (row_scale == nullptr) {
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          simd::Axpy(values_[k], bi, c->row_ptr(cols_idx_[k]), n);
+        }
+      } else {
+        const double scale = row_scale[i];
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          simd::Axpy(values_[k] * scale, bi, c->row_ptr(cols_idx_[k]), n);
+        }
       }
     }
     return;
@@ -387,13 +407,32 @@ void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
       const std::size_t ce = std::min(e0, cb + grain);
       for (std::size_t i = cb; i < ce; ++i) {
         const double* bi = b.row_ptr(i);
-        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-          simd::Axpy(values_[k], bi, slot.row_ptr(cols_idx_[k]), n);
+        if (row_scale == nullptr) {
+          for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            simd::Axpy(values_[k], bi, slot.row_ptr(cols_idx_[k]), n);
+          }
+        } else {
+          const double scale = row_scale[i];
+          for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            simd::Axpy(values_[k] * scale, bi, slot.row_ptr(cols_idx_[k]), n);
+          }
         }
       }
     }
   });
   for (const Matrix& slot : partial) c->Add(slot);
+}
+
+void SparseMatrix::MultiplyTransposedDenseInto(const Matrix& b,
+                                               Matrix* c) const {
+  TransposedDenseProductInto(nullptr, b, c);
+}
+
+void SparseMatrix::MultiplyTransposedScaledDenseInto(
+    const std::vector<double>& d, const Matrix& b, Matrix* c) const {
+  RHCHME_CHECK(d.size() == rows_,
+               "MultiplyTransposedScaledDense: scale size mismatch");
+  TransposedDenseProductInto(d.data(), b, c);
 }
 
 std::vector<double> SparseMatrix::RowSums() const {
@@ -406,6 +445,23 @@ std::vector<double> SparseMatrix::RowSums() const {
                         for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1];
                              ++k) {
                           acc += values_[k];
+                        }
+                        s[i] = acc;
+                      }
+                    });
+  return s;
+}
+
+std::vector<double> SparseMatrix::RowNormsSquared() const {
+  std::vector<double> s(rows_, 0.0);
+  const std::size_t nnz_per_row = rows_ > 0 ? nnz() / rows_ + 1 : 1;
+  util::ParallelFor(0, rows_, util::GrainForWork(2 * nnz_per_row),
+                    [&](std::size_t r0, std::size_t r1) {
+                      for (std::size_t i = r0; i < r1; ++i) {
+                        double acc = 0.0;
+                        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1];
+                             ++k) {
+                          acc += values_[k] * values_[k];
                         }
                         s[i] = acc;
                       }

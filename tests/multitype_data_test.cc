@@ -43,8 +43,8 @@ TEST(MultiTypeData, RelationRetrievalBothOrientations) {
   MultiTypeRelationalData d = ThreeTypeFixture();
   ASSERT_TRUE(d.HasRelation(0, 1));
   ASSERT_TRUE(d.HasRelation(1, 0));
-  la::Matrix r01 = d.Relation(0, 1);
-  la::Matrix r10 = d.Relation(1, 0);
+  const la::Matrix& r01 = d.Relation(0, 1);
+  la::Matrix r10 = d.RelationTransposed(1, 0);
   EXPECT_LT(la::MaxAbsDiff(r10, r01.Transposed()), 1e-15);
 }
 
@@ -80,7 +80,8 @@ TEST(MultiTypeData, JointRIsSymmetricWithZeroDiagonalBlocks) {
   }
   // Off-diagonal block matches the stored relation.
   EXPECT_LT(la::MaxAbsDiff(r.Block(0, 4, 4, 3), d.Relation(0, 1)), 1e-15);
-  EXPECT_LT(la::MaxAbsDiff(r.Block(4, 0, 3, 4), d.Relation(1, 0)), 1e-15);
+  EXPECT_LT(la::MaxAbsDiff(r.Block(4, 0, 3, 4), d.RelationTransposed(1, 0)),
+            1e-15);
 }
 
 TEST(MultiTypeData, SparseJointREqualsDense) {
@@ -89,6 +90,72 @@ TEST(MultiTypeData, SparseJointREqualsDense) {
   la::SparseMatrix sparse = d.BuildJointRSparse();
   EXPECT_LT(la::MaxAbsDiff(sparse.ToDense(), dense), 1e-15);
   EXPECT_TRUE(sparse.IsSymmetric(1e-12));
+}
+
+TEST(MultiTypeData, SparseJointRMatchesDenseElementwise) {
+  // Exact agreement with BuildJointR without densifying the sparse side:
+  // every entry compared through At(), and the stored count must equal
+  // the dense nonzero count (explicit zeros of the blocks are dropped,
+  // both mirrored copies of each stored entry are present).
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  la::Matrix dense = d.BuildJointR();
+  la::SparseMatrix sparse = d.BuildJointRSparse();
+  ASSERT_EQ(sparse.rows(), dense.rows());
+  ASSERT_EQ(sparse.cols(), dense.cols());
+  std::size_t dense_nnz = 0;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      EXPECT_EQ(sparse.At(i, j), dense(i, j)) << "(" << i << ", " << j << ")";
+      if (dense(i, j) != 0.0) ++dense_nnz;
+    }
+  }
+  EXPECT_EQ(sparse.nnz(), dense_nnz);
+}
+
+TEST(MultiTypeData, SparseJointRMirroredBlocksAreSymmetric) {
+  // The fixture's blocks carry exact zeros, so the mirrored (l, k) copies
+  // must land symmetric without relying on any dense detour.
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  la::SparseMatrix sparse = d.BuildJointRSparse();
+  EXPECT_TRUE(sparse.IsSymmetric(0.0));
+  // Spot-check a mirrored pair: r01(3, 0) = 4 sits at (3, 4+0) and (4, 3).
+  EXPECT_EQ(sparse.At(3, 4), 4.0);
+  EXPECT_EQ(sparse.At(4, 3), 4.0);
+}
+
+TEST(MultiTypeData, SparseJointRBuildContractOnDuplicates) {
+  // BuildJointRSparse leans on the FromTriplets build contract; pin the
+  // two properties it needs with joint-R-shaped triplets: duplicates are
+  // summed, and duplicates cancelling to an exact zero are pruned.
+  std::vector<la::Triplet> trips = {
+      {0, 4, 1.5}, {4, 0, 1.5},   // mirrored pair, split in two...
+      {0, 4, 1.5}, {4, 0, 1.5},   // ...deliveries: must sum to 3.
+      {2, 5, 2.0}, {5, 2, 2.0},   // Mirrored pair cancelled below.
+      {2, 5, -2.0}, {5, 2, -2.0},
+  };
+  la::SparseMatrix m = la::SparseMatrix::FromTriplets(9, 9, std::move(trips));
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.At(0, 4), 3.0);
+  EXPECT_EQ(m.At(4, 0), 3.0);
+  EXPECT_EQ(m.At(2, 5), 0.0);
+  EXPECT_TRUE(m.IsSymmetric(0.0));
+}
+
+TEST(MultiTypeData, JointRDensityCountsMirroredNonzeros) {
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  la::SparseMatrix sparse = d.BuildJointRSparse();
+  EXPECT_DOUBLE_EQ(d.JointRDensity(), sparse.Density());
+  // r01 has 4 nonzeros, r02 has 4, r12 has 3 → 22 mirrored entries / 81.
+  EXPECT_DOUBLE_EQ(d.JointRDensity(), 22.0 / 81.0);
+}
+
+TEST(MultiTypeData, RelationReturnsStoredBlockByReference) {
+  // Copy hygiene: repeated stored-orientation lookups must hand back the
+  // same object, not per-call copies.
+  MultiTypeRelationalData d = ThreeTypeFixture();
+  const la::Matrix& a = d.Relation(0, 1);
+  const la::Matrix& b = d.Relation(0, 1);
+  EXPECT_EQ(&a, &b);
 }
 
 TEST(MultiTypeData, JointLabels) {

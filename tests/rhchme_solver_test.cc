@@ -7,7 +7,9 @@
 
 #include <cmath>
 
+#include <thread>
 #include <tuple>
+#include <vector>
 
 #include "data/corruption.h"
 #include "data/synthetic.h"
@@ -51,6 +53,18 @@ TEST(RhchmeOptions, Validation) {
   o = FastOptions();
   o.ensemble.include_knn = false;
   o.ensemble.include_subspace = false;
+  EXPECT_FALSE(o.Validate().ok());
+  // The sparse-R core cannot be forced together with the dense reference
+  // core, and the auto threshold must be a density.
+  o = FastOptions();
+  o.sparse_r = SparseRMode::kAlways;
+  o.explicit_materialization = true;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FastOptions();
+  o.sparse_r_density_threshold = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FastOptions();
+  o.sparse_r_density_threshold = 1.5;
   EXPECT_FALSE(o.Validate().ok());
 }
 
@@ -402,6 +416,259 @@ TEST(RhchmeImplicitCore, DisabledTermsSkipTheirAllocations) {
     EXPECT_EQ(la::memstats::LargeAllocations(), 2u)
         << "explicit_core=" << explicit_core;
     EXPECT_FALSE(r.value().HasErrorMatrix());
+  }
+}
+
+// ---- Sparse-R solver core --------------------------------------------------
+
+/// Acceptance gate of the sparse-R core: the objective trace must agree
+/// with the implicit dense core within 1e-8 relative — at one and at four
+/// threads — on the synthetic three-type dataset. The cores share the
+/// update algebra but group the arithmetic differently (low-rank
+/// identities vs dense folds), so exact equality is not expected.
+TEST(RhchmeSparseCore, ObjectiveTraceMatchesImplicitCoreAtBothThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 15;
+  opts.tolerance = 0.0;  // Fixed-length traces on both cores.
+
+  RhchmeOptions sparse_opts = opts;
+  sparse_opts.sparse_r = SparseRMode::kAlways;
+  RhchmeOptions dense_opts = opts;
+  dense_opts.sparse_r = SparseRMode::kNever;
+
+  for (int threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    Result<RhchmeResult> sparse_fit = Rhchme(sparse_opts).Fit(d);
+    Result<RhchmeResult> dense_fit = Rhchme(dense_opts).Fit(d);
+    ASSERT_TRUE(sparse_fit.ok()) << "threads=" << threads;
+    ASSERT_TRUE(dense_fit.ok()) << "threads=" << threads;
+
+    const auto& ts = sparse_fit.value().hocc.objective_trace;
+    const auto& td = dense_fit.value().hocc.objective_trace;
+    ASSERT_EQ(ts.size(), td.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const double rel = std::fabs(ts[i] - td[i]) / std::fabs(td[i]);
+      EXPECT_LT(rel, 1e-8) << "iteration " << i << ", threads=" << threads;
+    }
+    // Same clustering out of both cores.
+    EXPECT_EQ(sparse_fit.value().hocc.labels, dense_fit.value().hocc.labels)
+        << "threads=" << threads;
+  }
+}
+
+/// The sparse-R fit must never allocate a dense n x n matrix — the whole
+/// point of the core. la::memstats counts every Matrix construction or
+/// Resize of >= n² doubles.
+TEST(RhchmeSparseCore, FitAllocatesZeroDenseNxN) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  RhchmeOptions opts = FastOptions();
+  opts.sparse_r = SparseRMode::kAlways;
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts.ensemble);
+  ASSERT_TRUE(e.ok());
+  const std::size_t n = b.total_objects();
+
+  Rhchme solver(opts);
+  la::memstats::StartTracking(n * n);
+  Result<RhchmeResult> r = solver.FitWithEnsemble(d, e.value());
+  la::memstats::StopTracking();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(la::memstats::LargeAllocations(), 0u);
+  EXPECT_TRUE(r.value().hocc.g.AllFinite());
+  EXPECT_TRUE(r.value().HasErrorMatrix());
+}
+
+TEST(RhchmeSparseCore, FitIsBitStableAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.sparse_r = SparseRMode::kAlways;
+  opts.max_iterations = 10;
+  opts.tolerance = 0.0;
+  auto fit = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    Result<RhchmeResult> r = Rhchme(opts).Fit(d);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  };
+  const RhchmeResult serial = fit(1);
+  const RhchmeResult threaded = fit(4);
+  EXPECT_EQ(serial.hocc.objective_trace, threaded.hocc.objective_trace);
+  EXPECT_EQ(la::MaxAbsDiff(serial.hocc.g, threaded.hocc.g), 0.0);
+  EXPECT_EQ(serial.error_scale, threaded.error_scale);
+}
+
+/// The factored sparse E_R materialises to the implicit core's dense one.
+TEST(RhchmeSparseCore, ErrorMatrixMatchesImplicitCore) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 12;
+  opts.tolerance = 0.0;
+  RhchmeOptions sparse_opts = opts;
+  sparse_opts.sparse_r = SparseRMode::kAlways;
+  Result<RhchmeResult> sparse_fit = Rhchme(sparse_opts).Fit(d);
+  Result<RhchmeResult> dense_fit = Rhchme(opts).Fit(d);
+  ASSERT_TRUE(sparse_fit.ok());
+  ASSERT_TRUE(dense_fit.ok());
+  ASSERT_TRUE(sparse_fit.value().HasErrorMatrix());
+  EXPECT_TRUE(sparse_fit.value().error_residual.empty());
+  EXPECT_GT(sparse_fit.value().error_sparse_r.nnz(), 0u);
+  EXPECT_LT(la::MaxAbsDiff(sparse_fit.value().ErrorMatrix(),
+                           dense_fit.value().ErrorMatrix()),
+            1e-8);
+}
+
+/// kAuto picks the core per dataset: a tf-idf-sparse block world (heavy
+/// dropout) runs sparse (zero dense n x n), the dense default block world
+/// stays on the implicit dense core (exactly two).
+TEST(RhchmeSparseCore, AutoModeSelectsByDensity) {
+  RhchmeOptions opts = FastOptions();
+  ASSERT_EQ(opts.sparse_r, SparseRMode::kAuto);
+
+  data::BlockWorldOptions sparse_world;
+  sparse_world.objects_per_type = {24, 18, 12};
+  sparse_world.n_classes = 3;
+  sparse_world.dropout = 0.97;
+  sparse_world.seed = 21;
+  data::MultiTypeRelationalData sparse_data =
+      data::GenerateBlockWorld(sparse_world).value();
+  ASSERT_LE(sparse_data.JointRDensity(), opts.sparse_r_density_threshold);
+
+  data::MultiTypeRelationalData dense_data = SmallData();
+  ASSERT_GT(dense_data.JointRDensity(), opts.sparse_r_density_threshold);
+
+  struct Case {
+    const data::MultiTypeRelationalData* data;
+    std::size_t expected_allocs;
+  };
+  for (const Case& c : {Case{&sparse_data, 0}, Case{&dense_data, 2}}) {
+    const data::MultiTypeRelationalData& data = *c.data;
+    const std::size_t expected_allocs = c.expected_allocs;
+    fact::BlockStructure b = fact::BuildBlockStructure(data);
+    Result<HeterogeneousEnsemble> e = BuildEnsemble(data, b, opts.ensemble);
+    ASSERT_TRUE(e.ok());
+    const std::size_t n = b.total_objects();
+    la::memstats::StartTracking(n * n);
+    Result<RhchmeResult> r = Rhchme(opts).FitWithEnsemble(data, e.value());
+    la::memstats::StopTracking();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(la::memstats::LargeAllocations(), expected_allocs);
+  }
+}
+
+/// Disabled robust term and lambda == 0 must also stay dense-free on the
+/// sparse core.
+TEST(RhchmeSparseCore, DisabledTermsStayAllocationFree) {
+  data::MultiTypeRelationalData d = SmallData();
+  fact::BlockStructure b = fact::BuildBlockStructure(d);
+  RhchmeOptions opts = FastOptions();
+  opts.sparse_r = SparseRMode::kAlways;
+  opts.use_error_matrix = false;
+  opts.lambda = 0.0;
+  Result<HeterogeneousEnsemble> e = BuildEnsemble(d, b, opts.ensemble);
+  ASSERT_TRUE(e.ok());
+  const std::size_t n = b.total_objects();
+  Rhchme solver(opts);
+  la::memstats::StartTracking(n * n);
+  Result<RhchmeResult> r = solver.FitWithEnsemble(d, e.value());
+  la::memstats::StopTracking();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(la::memstats::LargeAllocations(), 0u);
+  EXPECT_FALSE(r.value().HasErrorMatrix());
+  EXPECT_TRUE(r.value().ErrorMatrix().empty());
+}
+
+/// Theorem 1 holds on the sparse core too: same updates, different
+/// arithmetic grouping.
+TEST(RhchmeSparseCore, ObjectiveMonotonicallyDecreases) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.sparse_r = SparseRMode::kAlways;
+  opts.normalize_rows = false;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const auto& trace = r.value().hocc.objective_trace;
+  ASSERT_GE(trace.size(), 5u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i], trace[i - 1] * (1.0 + 1e-7))
+        << "objective rose at iteration " << i;
+  }
+}
+
+/// The standalone sparse-R objective overload, fed the sparse fit's own
+/// factors, must reproduce the solver's last trace entry.
+TEST(RhchmeObjective, SparseROverloadMatchesSparseFitTrace) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.sparse_r = SparseRMode::kAlways;
+  opts.max_iterations = 8;
+  opts.tolerance = 0.0;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const RhchmeResult& res = r.value();
+  const double objective = RhchmeObjective(
+      d.BuildJointRSparse(), res.hocc.g, res.hocc.s, res.error_scale,
+      res.ensemble.laplacian, opts.lambda, opts.beta);
+  const double traced = res.hocc.objective_trace.back();
+  EXPECT_NEAR(objective, traced, 1e-8 * std::fabs(traced));
+}
+
+/// And with the robust term off, the overload's E_R = 0 form must match
+/// the dense no-error objective.
+TEST(RhchmeObjective, SparseROverloadMatchesDenseWithoutError) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.use_error_matrix = false;
+  opts.max_iterations = 5;
+  opts.tolerance = 0.0;
+  Rhchme solver(opts);
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const RhchmeResult& res = r.value();
+  const double sparse_obj = RhchmeObjective(
+      d.BuildJointRSparse(), res.hocc.g, res.hocc.s, {},
+      res.ensemble.laplacian, opts.lambda, opts.beta);
+  const double dense_obj = RhchmeObjective(
+      d.BuildJointR(), res.hocc.g, res.hocc.s, la::Matrix(),
+      res.ensemble.laplacian, opts.lambda, opts.beta);
+  EXPECT_NEAR(sparse_obj, dense_obj, 1e-8 * std::fabs(dense_obj));
+}
+
+// ---- Lazy ErrorMatrix thread-safety ----------------------------------------
+
+/// Regression for the lazy-build race: concurrent const readers must all
+/// see the same cached matrix (the build is internally synchronised, like
+/// SparseMatrix::BuildCscMirror). Run under TSan in CI.
+TEST(RhchmeResult, ErrorMatrixIsSafeUnderConcurrentConstReads) {
+  data::MultiTypeRelationalData d = SmallData();
+  Rhchme solver(FastOptions());
+  Result<RhchmeResult> r = solver.Fit(d);
+  ASSERT_TRUE(r.ok());
+  const RhchmeResult& res = r.value();
+  ASSERT_TRUE(res.HasErrorMatrix());
+
+  constexpr int kReaders = 8;
+  std::vector<const la::Matrix*> seen(kReaders, nullptr);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&res, &seen, i] { seen[i] = &res.ErrorMatrix(); });
+  }
+  for (std::thread& t : readers) t.join();
+  for (int i = 1; i < kReaders; ++i) {
+    EXPECT_EQ(seen[i], seen[0]) << "reader " << i;
+  }
+  // The built matrix matches the factored form.
+  const la::Matrix& e = *seen[0];
+  ASSERT_EQ(e.rows(), res.error_residual.rows());
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      EXPECT_EQ(e(i, j), res.error_scale[i] * res.error_residual(i, j));
+    }
   }
 }
 

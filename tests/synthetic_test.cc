@@ -91,7 +91,7 @@ TEST(SyntheticCorpus, FeaturesMatchRelations) {
             0.0);
   // Term features are its transpose.
   EXPECT_EQ(la::MaxAbsDiff(d.value().Type(1).features,
-                           d.value().Relation(1, 0)),
+                           d.value().RelationTransposed(1, 0)),
             0.0);
 }
 
