@@ -106,9 +106,10 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
 
   // One candidate manifold per task (ROADMAP threading item): every
   // (type, member) pair learns its affinity and Laplacian independently.
-  // Subspace seeds come from DeriveStreamSeed(seed, type), fixed before
-  // dispatch, so the ensemble is reproducible for any schedule or pool
-  // size. Tasks write only their own slots; assembly stays serial.
+  // Stochastic members (subspace init, NN-descent backend) draw seeds
+  // from DeriveStreamSeed(seed, type), fixed before dispatch, so the
+  // ensemble is reproducible for any schedule or pool size. Tasks write
+  // only their own slots; assembly stays serial.
   std::vector<MemberTask> tasks;
   tasks.reserve(2 * num_types);
   for (std::size_t k = 0; k < num_types; ++k) {
@@ -142,8 +143,13 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
       }
       subspace_lap[task.type] = std::move(lap).value();
     } else {
+      graph::KnnGraphOptions knn_opts = opts.knn;
+      // Per-type stream for the NN-descent backend's random init, fixed
+      // before dispatch like the subspace seed above (no-op for exact).
+      knn_opts.descent.seed =
+          DeriveStreamSeed(opts.knn.descent.seed, task.type);
       Result<la::SparseMatrix> knn =
-          graph::BuildKnnGraph(type.features, opts.knn);
+          graph::BuildKnnGraph(type.features, knn_opts);
       if (!knn.ok()) {
         task_status[t] = knn.status();
         return;

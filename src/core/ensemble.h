@@ -41,6 +41,9 @@ struct EnsembleOptions {
   /// Trade-off alpha of Eq. 12. Fig. 2: stable in [0.25, 2], best at 1.
   double alpha = 1.0;
   /// pNN member W^E: the paper uses p = 5 with cosine weighting.
+  /// knn.backend selects the construction engine (kAuto: exact below the
+  /// threshold, NN-descent above); per-type descent seeds are derived
+  /// from knn.descent.seed inside BuildEnsemble.
   graph::KnnGraphOptions knn;
   /// Subspace member W^S (Algorithm 1 settings).
   SubspaceOptions subspace;

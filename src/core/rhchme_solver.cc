@@ -464,9 +464,12 @@ Result<RhchmeResult> Rhchme::FitSparseR(
 
   // Step 1: the joint R, sparse end-to-end. The CSC mirror is built once
   // so every Rᵀ product of the fit runs the threaded gather path; the row
-  // norms ‖r_i‖² anchor the analytic residual norms all fit long.
+  // norms ‖r_i‖² anchor the analytic residual norms all fit long. Under
+  // assume_symmetric_r no Rᵀ product is ever taken, so the mirror (an
+  // extra O(nnz) of memory) is skipped too.
+  const bool sym_r = opts_.assume_symmetric_r;
   la::SparseMatrix r = data.BuildJointRSparse();
-  r.BuildCscMirror();
+  if (!sym_r) r.BuildCscMirror();
   const std::vector<double> r_norm_sq = r.RowNormsSquared();
 
   la::SparseMatrix lap_pos, lap_neg;
@@ -522,12 +525,11 @@ Result<RhchmeResult> Rhchme::FitSparseR(
                             }
                           }
                         });
-      // Mᵀ·G = Rᵀ·G − Rᵀ·diag(s)·G + G·(Hᵀ·diag(s)·G): two gather-path
-      // transposed SpMMs (the scaled one never materialises diag(s)·R)
-      // plus a c x c recombination.
-      r.MultiplyTransposedDenseInto(g, &mtg);
-      r.MultiplyTransposedScaledDenseInto(er_scale, g, &scratch);
-      mtg.Sub(scratch);
+      // Mᵀ·G = Rᵀ·G − Rᵀ·diag(s)·G + G·(Hᵀ·diag(s)·G) plus a c x c
+      // recombination. Non-assuming: two gather-path transposed SpMMs
+      // (the scaled one never materialises diag(s)·R). Symmetric R:
+      // Rᵀ·G is the cached K and Rᵀ·diag(s)·G = R·(diag(s)·G) runs as a
+      // forward SpMM — no transposed product at all.
       gs_scaled.Resize(n, c);
       util::ParallelFor(0, n, util::GrainForWork(2 * c + 1),
                         [&](std::size_t r0, std::size_t r1) {
@@ -540,13 +542,25 @@ Result<RhchmeResult> Rhchme::FitSparseR(
                             }
                           }
                         });
+      if (sym_r) {
+        mtg = k;
+        r.MultiplyDenseInto(gs_scaled, &scratch);
+      } else {
+        r.MultiplyTransposedDenseInto(g, &mtg);
+        r.MultiplyTransposedScaledDenseInto(er_scale, g, &scratch);
+      }
+      mtg.Sub(scratch);
       la::Matrix hts = la::MultiplyTN(h, gs_scaled);  // Hᵀ·diag(s)·G, c x c
       mtg.Add(la::Multiply(g, hts));
       m_g = &mg;
     } else {
-      // M = R, so M·G is exactly the cached K (no copy); only Mᵀ·G needs
-      // the transposed product.
-      r.MultiplyTransposedDenseInto(g, &mtg);
+      // M = R, so M·G is exactly the cached K (no copy); Mᵀ·G needs the
+      // transposed product — or is K again when R is symmetric.
+      if (sym_r) {
+        mtg = k;
+      } else {
+        r.MultiplyTransposedDenseInto(g, &mtg);
+      }
     }
 
     // ---- Step 3: S update (Eq. 18) from the c x c products --------------

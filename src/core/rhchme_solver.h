@@ -118,6 +118,15 @@ struct RhchmeOptions {
   /// sparse relations (tf-idf corpora sit well below 1%) on the sparse
   /// core while dense synthetic block worlds stay on the dense kernels.
   double sparse_r_density_threshold = 0.05;
+  /// Promise that the joint R is symmetric (true for
+  /// data::MultiTypeRelationalData, which mirrors every relation into its
+  /// transpose). The sparse-R core then reuses K = R·G for Rᵀ·G, turns
+  /// the scaled transposed product into a forward SpMM and skips the CSC
+  /// mirror — one fewer transposed SpMM per iteration and O(nnz) less
+  /// memory. Results are only meaningful when R really is symmetric; the
+  /// promise is not verified. Off by default (trace-matches the
+  /// non-assuming path to rounding only, ≤1e-8 relative).
+  bool assume_symmetric_r = false;
 
   Status Validate() const;
 };

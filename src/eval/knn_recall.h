@@ -1,0 +1,34 @@
+// Recall of approximate neighbour lists against the exact reference —
+// the quality gate for the NN-descent graph backend (ISSUE 6: approximate
+// members are acceptable because the ensemble combiner downweights
+// imperfect manifolds, but only when recall stays high).
+
+#ifndef RHCHME_EVAL_KNN_RECALL_H_
+#define RHCHME_EVAL_KNN_RECALL_H_
+
+#include "graph/knn_descent.h"
+#include "graph/knn_graph.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace rhchme {
+namespace eval {
+
+/// Fraction of true neighbours recovered: |approx ∩ exact| / |exact|,
+/// summed over rows. Membership is by index; ties at the p-th distance
+/// mean the exact set is one valid choice among several, so recall of a
+/// perfect approximation can fall (marginally) below 1. Requires equal
+/// list counts; empty inputs score 1.
+Result<double> KnnRecall(const graph::KnnNeighborLists& approx,
+                         const graph::KnnNeighborLists& exact);
+
+/// Builds neighbour lists under `opts` (whatever backend it selects) and
+/// scores them against ExactKnnNeighbors on the same points. Recall of
+/// the exact backend against itself is 1 by construction.
+Result<double> RecallAgainstExact(const la::Matrix& points,
+                                  const graph::KnnGraphOptions& opts);
+
+}  // namespace eval
+}  // namespace rhchme
+
+#endif  // RHCHME_EVAL_KNN_RECALL_H_

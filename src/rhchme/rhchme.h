@@ -58,6 +58,7 @@
 
 // Evaluation.
 #include "eval/experiment.h"
+#include "eval/knn_recall.h"
 #include "eval/metrics.h"
 
 // Persistence.

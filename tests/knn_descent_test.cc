@@ -1,0 +1,252 @@
+// Tests for the neighbour-list construction engines (blocked exact scan
+// and NN-descent) and the recall gate behind the approximate backend.
+
+#include "graph/knn_descent.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/knn_recall.h"
+#include "graph/knn_graph.h"
+#include "la/matrix.h"
+#include "la/simd.h"
+#include "scoped_num_threads.h"
+#include "util/rng.h"
+
+namespace rhchme {
+namespace graph {
+namespace {
+
+/// Gaussian blobs: well-separated centres with unit-variance points, the
+/// clustered regime NN-descent is built for (and the regime every pNN
+/// ensemble member actually sees).
+la::Matrix Blobs(std::size_t clusters, std::size_t per_cluster,
+                 std::size_t d, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix centers(clusters, d);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t j = 0; j < d; ++j) centers(c, j) = 10.0 * rng.Normal();
+  }
+  la::Matrix pts(clusters * per_cluster, d);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        pts(c * per_cluster + i, j) = centers(c, j) + rng.Normal();
+      }
+    }
+  }
+  return pts;
+}
+
+/// Straight-from-the-definition reference with the engines' exact
+/// arithmetic (norms + simd::Dot), so distances compare bitwise.
+KnnNeighborLists BruteForce(const la::Matrix& pts, std::size_t p,
+                            KnnMetric metric) {
+  const std::size_t n = pts.rows(), d = pts.cols();
+  std::vector<double> norm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq = la::simd::Dot(pts.row_ptr(i), pts.row_ptr(i), d);
+    norm[i] = metric == KnnMetric::kCosine ? std::sqrt(sq) : sq;
+  }
+  KnnNeighborLists out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dot = la::simd::Dot(pts.row_ptr(i), pts.row_ptr(j), d);
+      double dist;
+      if (metric == KnnMetric::kSquaredEuclidean) {
+        dist = std::max(0.0, norm[i] + norm[j] - 2.0 * dot);
+      } else if (norm[i] == 0.0 || norm[j] == 0.0) {
+        dist = 1.0;
+      } else {
+        dist = 1.0 - dot / (norm[i] * norm[j]);
+      }
+      out[i].push_back({j, dist});
+    }
+    std::sort(out[i].begin(), out[i].end(),
+              [](const KnnNeighbor& a, const KnnNeighbor& b) {
+                return a.distance < b.distance ||
+                       (a.distance == b.distance && a.index < b.index);
+              });
+    out[i].resize(std::min(p, out[i].size()));
+  }
+  return out;
+}
+
+void ExpectListsIdentical(const KnnNeighborLists& a,
+                          const KnnNeighborLists& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "row " << i;
+    for (std::size_t t = 0; t < a[i].size(); ++t) {
+      EXPECT_EQ(a[i][t].index, b[i][t].index) << "row " << i << " slot " << t;
+      EXPECT_EQ(a[i][t].distance, b[i][t].distance)
+          << "row " << i << " slot " << t;
+    }
+  }
+}
+
+TEST(ExactKnn, MatchesBruteForceBothMetrics) {
+  Rng rng(5);
+  la::Matrix pts = la::Matrix::RandomNormal(70, 5, &rng);
+  for (KnnMetric metric :
+       {KnnMetric::kSquaredEuclidean, KnnMetric::kCosine}) {
+    ExpectListsIdentical(ExactKnnNeighbors(pts, 7, metric),
+                         BruteForce(pts, 7, metric));
+  }
+}
+
+TEST(ExactKnn, HandlesDegenerateShapes) {
+  // n < 2: empty lists, no crash.
+  EXPECT_TRUE(ExactKnnNeighbors(la::Matrix(1, 3), 5,
+                                KnnMetric::kSquaredEuclidean)[0]
+                  .empty());
+  // p >= n clamps to the complete graph.
+  la::Matrix pts = la::Matrix::FromRows({{0.0}, {1.0}, {2.0}});
+  KnnNeighborLists lists =
+      ExactKnnNeighbors(pts, 100, KnnMetric::kSquaredEuclidean);
+  for (const auto& l : lists) EXPECT_EQ(l.size(), 2u);
+}
+
+TEST(ExactKnn, BitStableAcrossThreadCounts) {
+  la::Matrix pts = Blobs(6, 50, 8, 17);
+  KnnNeighborLists ref;
+  {
+    ScopedNumThreads scoped(1);
+    ref = ExactKnnNeighbors(pts, 6, KnnMetric::kSquaredEuclidean);
+  }
+  {
+    ScopedNumThreads scoped(4);
+    ExpectListsIdentical(
+        ExactKnnNeighbors(pts, 6, KnnMetric::kSquaredEuclidean), ref);
+  }
+}
+
+TEST(NnDescentOptions, Validation) {
+  KnnDescentOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.max_iterations = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = KnnDescentOptions();
+  o.termination_delta = -1e-3;
+  EXPECT_FALSE(o.Validate().ok());
+  o = KnnDescentOptions();
+  o.sample_rate = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.sample_rate = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(NnDescent, HighRecallOnBlobs) {
+  la::Matrix pts = Blobs(8, 40, 16, 23);  // n = 320.
+  KnnDescentOptions opts;
+  for (std::size_t p : {std::size_t{5}, std::size_t{10}}) {
+    Result<KnnNeighborLists> approx =
+        NnDescent(pts, p, KnnMetric::kSquaredEuclidean, opts);
+    ASSERT_TRUE(approx.ok());
+    KnnNeighborLists exact =
+        ExactKnnNeighbors(pts, p, KnnMetric::kSquaredEuclidean);
+    Result<double> recall = eval::KnnRecall(approx.value(), exact);
+    ASSERT_TRUE(recall.ok());
+    EXPECT_GE(recall.value(), 0.95) << "p=" << p;
+  }
+}
+
+TEST(NnDescent, HighRecallOnTfIdfDocuments) {
+  data::SyntheticCorpusOptions gen;
+  gen.docs_per_class = {45, 45, 45, 45};  // n = 180 documents.
+  gen.n_terms = 150;
+  gen.n_concepts = 90;
+  gen.seed = 31;
+  la::Matrix docs =
+      data::GenerateSyntheticCorpus(gen).value().Type(0).features;
+  KnnGraphOptions opts;
+  opts.backend = KnnBackend::kNNDescent;
+  for (std::size_t p : {std::size_t{5}, std::size_t{10}}) {
+    opts.p = p;
+    Result<double> recall = eval::RecallAgainstExact(docs, opts);
+    ASSERT_TRUE(recall.ok());
+    EXPECT_GE(recall.value(), 0.95) << "p=" << p;
+  }
+}
+
+TEST(NnDescent, BitStableAcrossThreadCounts) {
+  la::Matrix pts = Blobs(5, 60, 8, 29);
+  KnnDescentOptions opts;
+  KnnNeighborLists ref;
+  {
+    ScopedNumThreads scoped(1);
+    ref = NnDescent(pts, 5, KnnMetric::kSquaredEuclidean, opts).value();
+  }
+  {
+    ScopedNumThreads scoped(4);
+    ExpectListsIdentical(
+        NnDescent(pts, 5, KnnMetric::kSquaredEuclidean, opts).value(), ref);
+  }
+}
+
+TEST(NnDescent, DeterministicUnderFixedStream) {
+  la::Matrix pts = Blobs(4, 30, 6, 37);
+  KnnDescentOptions opts;
+  opts.seed = DeriveStreamSeed(123, 7);  // An ensemble-style derived stream.
+  KnnNeighborLists a =
+      NnDescent(pts, 5, KnnMetric::kSquaredEuclidean, opts).value();
+  KnnNeighborLists b =
+      NnDescent(pts, 5, KnnMetric::kSquaredEuclidean, opts).value();
+  ExpectListsIdentical(a, b);
+}
+
+TEST(KnnBackend, AutoSelectsByThreshold) {
+  Rng rng(41);
+  la::Matrix pts = la::Matrix::RandomNormal(64, 4, &rng);
+  KnnGraphOptions opts;
+  opts.p = 4;
+
+  // Below the threshold kAuto is the exact reference...
+  opts.backend = KnnBackend::kAuto;
+  opts.auto_backend_threshold = 1000;
+  ExpectListsIdentical(
+      BuildKnnNeighbors(pts, opts).value(),
+      ExactKnnNeighbors(pts, 4, KnnMetric::kSquaredEuclidean));
+
+  // ...above it, exactly the NN-descent result for the same seed.
+  opts.auto_backend_threshold = 32;
+  ExpectListsIdentical(
+      BuildKnnNeighbors(pts, opts).value(),
+      NnDescent(pts, 4, KnnMetric::kSquaredEuclidean, opts.descent).value());
+
+  // Explicit backends ignore the threshold.
+  opts.backend = KnnBackend::kExact;
+  ExpectListsIdentical(
+      BuildKnnNeighbors(pts, opts).value(),
+      ExactKnnNeighbors(pts, 4, KnnMetric::kSquaredEuclidean));
+  opts.backend = KnnBackend::kNNDescent;
+  opts.auto_backend_threshold = 1000;
+  ExpectListsIdentical(
+      BuildKnnNeighbors(pts, opts).value(),
+      NnDescent(pts, 4, KnnMetric::kSquaredEuclidean, opts.descent).value());
+}
+
+TEST(KnnBackend, Names) {
+  EXPECT_STREQ(KnnBackendName(KnnBackend::kExact), "exact");
+  EXPECT_STREQ(KnnBackendName(KnnBackend::kNNDescent), "nn-descent");
+  EXPECT_STREQ(KnnBackendName(KnnBackend::kAuto), "auto");
+}
+
+TEST(KnnRecall, ScoresOverlapByIndex) {
+  KnnNeighborLists exact = {{{1, 0.1}, {2, 0.2}}, {{0, 0.1}, {3, 0.3}}};
+  KnnNeighborLists perfect = exact;
+  EXPECT_DOUBLE_EQ(eval::KnnRecall(perfect, exact).value(), 1.0);
+  KnnNeighborLists half = {{{1, 0.1}, {5, 0.5}}, {{0, 0.1}, {6, 0.6}}};
+  EXPECT_DOUBLE_EQ(eval::KnnRecall(half, exact).value(), 0.5);
+  KnnNeighborLists wrong_shape(3);
+  EXPECT_FALSE(eval::KnnRecall(wrong_shape, exact).ok());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace rhchme

@@ -174,6 +174,47 @@ TEST(KnnGraph, DuplicatePointsDoNotBreakCosine) {
   EXPECT_TRUE(g.value().ToDense().AllFinite());
 }
 
+/// Regression: heat_sigma == 0 used to slip through Validate() and divide
+/// by zero in the weight pass. Exactly zero is now rejected; negative
+/// still selects the automatic bandwidth.
+TEST(KnnGraph, RejectsZeroHeatSigma) {
+  KnnGraphOptions opts;
+  opts.scheme = WeightScheme::kHeatKernel;
+  opts.heat_sigma = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  EXPECT_FALSE(BuildKnnGraph(LinePoints(), opts).ok());
+  opts.heat_sigma = -1.0;
+  EXPECT_TRUE(opts.Validate().ok());
+  // Zero sigma is fine for schemes that never use it.
+  opts.scheme = WeightScheme::kBinary;
+  opts.heat_sigma = 0.0;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+/// Acceptance gate of the blocked exact path: no construction step —
+/// neighbour search, auto bandwidth, weighting, symmetrisation — may
+/// allocate a dense n x n matrix (la::memstats counts every Matrix
+/// construction or Resize of >= n² doubles).
+TEST(KnnGraph, ExactBuildAllocatesNoDenseNxN) {
+  Rng rng(6);
+  la::Matrix pts = la::Matrix::RandomNormal(64, 8, &rng);
+  KnnGraphOptions opts;
+  opts.p = 5;
+  opts.backend = KnnBackend::kExact;
+  for (WeightScheme scheme :
+       {WeightScheme::kBinary, WeightScheme::kHeatKernel,
+        WeightScheme::kCosine}) {
+    opts.scheme = scheme;
+    la::memstats::StartTracking(64 * 64);
+    Result<la::SparseMatrix> g = BuildKnnGraph(pts, opts);
+    la::memstats::StopTracking();
+    ASSERT_TRUE(g.ok()) << WeightSchemeName(scheme);
+    EXPECT_EQ(la::memstats::LargeAllocations(), 0u)
+        << WeightSchemeName(scheme);
+    EXPECT_GT(g.value().nnz(), 0u);
+  }
+}
+
 TEST(KnnGraph, SchemeNames) {
   EXPECT_STREQ(WeightSchemeName(WeightScheme::kBinary), "binary");
   EXPECT_STREQ(WeightSchemeName(WeightScheme::kHeatKernel), "heat");

@@ -457,6 +457,45 @@ TEST(RhchmeSparseCore, ObjectiveTraceMatchesImplicitCoreAtBothThreadCounts) {
   }
 }
 
+/// ROADMAP item 4d: the joint R of MultiTypeRelationalData is symmetric
+/// by construction (every relation is mirrored into its transpose), so
+/// assume_symmetric_r — which reuses K = R·G for Rᵀ·G and runs the scaled
+/// transposed product as a forward SpMM — must reproduce the non-assuming
+/// sparse core to rounding: trace-match <= 1e-8 relative, same labels, at
+/// one and at four threads, with and without the robust term.
+TEST(RhchmeSparseCore, AssumeSymmetricRMatchesNonAssumingPath) {
+  data::MultiTypeRelationalData d = SmallData();
+  RhchmeOptions opts = FastOptions();
+  opts.max_iterations = 15;
+  opts.tolerance = 0.0;  // Fixed-length traces on both paths.
+  opts.sparse_r = SparseRMode::kAlways;
+
+  for (bool robust : {true, false}) {
+    opts.use_error_matrix = robust;
+    RhchmeOptions sym_opts = opts;
+    sym_opts.assume_symmetric_r = true;
+    for (int threads : {1, 4}) {
+      ScopedNumThreads scoped(threads);
+      Result<RhchmeResult> base = Rhchme(opts).Fit(d);
+      Result<RhchmeResult> sym = Rhchme(sym_opts).Fit(d);
+      ASSERT_TRUE(base.ok()) << "threads=" << threads;
+      ASSERT_TRUE(sym.ok()) << "threads=" << threads;
+
+      const auto& tb = base.value().hocc.objective_trace;
+      const auto& ts = sym.value().hocc.objective_trace;
+      ASSERT_EQ(tb.size(), ts.size()) << "threads=" << threads;
+      for (std::size_t i = 0; i < tb.size(); ++i) {
+        const double rel = std::fabs(tb[i] - ts[i]) / std::fabs(tb[i]);
+        EXPECT_LT(rel, 1e-8)
+            << "iteration " << i << ", threads=" << threads
+            << ", robust=" << robust;
+      }
+      EXPECT_EQ(base.value().hocc.labels, sym.value().hocc.labels)
+          << "threads=" << threads << ", robust=" << robust;
+    }
+  }
+}
+
 /// The sparse-R fit must never allocate a dense n x n matrix — the whole
 /// point of the core. la::memstats counts every Matrix construction or
 /// Resize of >= n² doubles.

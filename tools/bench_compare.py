@@ -7,6 +7,10 @@ Guards the perf trajectory in CI:
     debug numbers are meaningless and silently poison the comparison;
   * fails (exit 1) when any kernel present in both files regressed by
     more than --threshold (default 25%) in real_time;
+  * fails when a kernel that reports a `recall` counter (the approximate
+    kNN builds) lost more than --recall-threshold (default 0.02) of
+    recall against the baseline — a speedup bought with accuracy is a
+    regression, not a win;
   * benchmarks missing from either side are reported but never fatal,
     so adding or retiring kernels does not break CI.
 
@@ -14,7 +18,7 @@ Usage:
   python3 tools/bench_compare.py \
       [--current build/BENCH_kernels.json] \
       [--baseline BENCH_kernels.baseline.json] \
-      [--threshold 0.25] [--allow-debug]
+      [--threshold 0.25] [--recall-threshold 0.02] [--allow-debug]
 
 Regenerating the baseline (Release build only):
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
@@ -33,10 +37,13 @@ import sys
 
 
 def load_benchmarks(path):
-    """Returns (context, {name: real_time}) for a google-benchmark JSON."""
+    """Returns (context, {name: real_time}, {name: recall}) for a
+    google-benchmark JSON; recall only holds kernels that report the
+    counter."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     times = {}
+    recalls = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repetitions).
         if bench.get("run_type") == "aggregate":
@@ -45,7 +52,9 @@ def load_benchmarks(path):
         if name is None or "real_time" not in bench:
             continue
         times[name] = float(bench["real_time"])
-    return doc.get("context", {}), times
+        if "recall" in bench:
+            recalls[name] = float(bench["recall"])
+    return doc.get("context", {}), times, recalls
 
 
 def main():
@@ -57,6 +66,9 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional real_time regression that fails "
                              "(default 0.25 = +25%%)")
+    parser.add_argument("--recall-threshold", type=float, default=0.02,
+                        help="absolute recall-counter drop that fails "
+                             "(default 0.02)")
     parser.add_argument("--allow-debug", action="store_true",
                         help="accept a debug-build current JSON (local "
                              "debugging only; CI must not pass this)")
@@ -67,12 +79,12 @@ def main():
     args = parser.parse_args()
 
     try:
-        cur_ctx, current = load_benchmarks(args.current)
+        cur_ctx, current, cur_recall = load_benchmarks(args.current)
     except (OSError, ValueError) as e:
         print(f"error: cannot read --current {args.current}: {e}")
         return 1
     try:
-        base_ctx, baseline = load_benchmarks(args.baseline)
+        base_ctx, baseline, base_recall = load_benchmarks(args.baseline)
     except (OSError, ValueError) as e:
         print(f"error: cannot read --baseline {args.baseline}: {e}")
         return 1
@@ -132,20 +144,43 @@ def main():
         print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
               f"{delta:>+7.1%}{flag}")
 
+    # Recall gate: recall is deterministic for a fixed seed (unlike
+    # real_time), so any drop beyond the threshold is a real algorithmic
+    # change, not machine noise.
+    recall_regressions = []
+    for name in sorted(set(cur_recall) & set(base_recall)):
+        drop = base_recall[name] - cur_recall[name]
+        flag = ""
+        if drop > args.recall_threshold:
+            flag = "  << RECALL REGRESSION"
+            recall_regressions.append((name, drop))
+        print(f"{name}: recall {base_recall[name]:.4f} -> "
+              f"{cur_recall[name]:.4f}{flag}")
+
     for name in only_current:
         print(f"note: {name} has no baseline entry (new kernel?)")
     for name in only_baseline:
         print(f"note: {name} missing from current run (filtered out?)")
 
+    failed = False
     if regressions:
+        failed = True
         print(f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
               f"{args.threshold:.0%} in real_time:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
+    if recall_regressions:
+        failed = True
+        print(f"\nFAIL: {len(recall_regressions)} kernel(s) lost more than "
+              f"{args.recall_threshold} recall:")
+        for name, drop in recall_regressions:
+            print(f"  {name}: -{drop:.4f}")
+    if failed:
         return 1
 
     print(f"\nOK: {len(shared)} kernels within {args.threshold:.0%} of "
-          "baseline.")
+          f"baseline ({len(set(cur_recall) & set(base_recall))} recall "
+          "counters checked).")
     return 0
 
 
