@@ -1,15 +1,29 @@
 #include "data/corruption.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rhchme {
 namespace data {
 
+Status RowCorruptionOptions::Validate() const {
+  if (!(row_fraction >= 0.0 && row_fraction <= 1.0)) {
+    return Status::InvalidArgument("row_fraction must be in [0,1]");
+  }
+  if (!(entry_fraction >= 0.0 && entry_fraction <= 1.0)) {
+    return Status::InvalidArgument("entry_fraction must be in [0,1]");
+  }
+  if (!(magnitude >= 0.0) || !std::isfinite(magnitude)) {
+    return Status::InvalidArgument("magnitude must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
 std::vector<std::size_t> CorruptRows(la::Matrix* m,
                                      const RowCorruptionOptions& opts,
                                      Rng* rng) {
-  RHCHME_CHECK(opts.row_fraction >= 0.0 && opts.row_fraction <= 1.0,
-               "row_fraction must be in [0,1]");
+  const Status valid = opts.Validate();
+  RHCHME_CHECK(valid.ok(), valid.message().c_str());
   const std::size_t n = m->rows();
   const auto n_corrupt = static_cast<std::size_t>(
       opts.row_fraction * static_cast<double>(n) + 0.5);
@@ -56,6 +70,17 @@ void AddGaussianNoise(la::Matrix* m, double sigma, Rng* rng,
     }
   }
   if (keep_nonnegative) m->ClampNonNegative();
+}
+
+void DropEntries(la::Matrix* m, double prob, Rng* rng) {
+  RHCHME_CHECK(prob >= 0.0 && prob <= 1.0, "drop probability must be in [0,1]");
+  if (prob == 0.0) return;
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* r = m->row_ptr(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) {
+      if (rng->Uniform() < prob) r[j] = 0.0;
+    }
+  }
 }
 
 void AddSparseSpikes(la::Matrix* m, double prob, double magnitude, Rng* rng) {

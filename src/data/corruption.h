@@ -12,6 +12,7 @@
 
 #include "la/matrix.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace rhchme {
 namespace data {
@@ -23,6 +24,11 @@ struct RowCorruptionOptions {
   double magnitude = 3.0;
   /// Fraction of entries within a corrupted row that receive a spike.
   double entry_fraction = 0.5;
+
+  /// InvalidArgument when either fraction leaves [0, 1], or on a
+  /// negative/non-finite magnitude (negative spikes would break the
+  /// nonnegativity every relationship matrix must keep).
+  Status Validate() const;
 };
 
 /// Corrupts a random subset of rows with positive uniform spikes; returns
@@ -40,6 +46,11 @@ void AddGaussianNoise(la::Matrix* m, double sigma, Rng* rng,
 /// Sets each entry to `magnitude * Uniform()` with probability `prob`
 /// (gross sparse corruption).
 void AddSparseSpikes(la::Matrix* m, double prob, double magnitude, Rng* rng);
+
+/// Zeroes each entry independently with probability `prob` — relation
+/// sparsification (missing observations) for the robustness scenario
+/// grids. Requires prob in [0, 1].
+void DropEntries(la::Matrix* m, double prob, Rng* rng);
 
 }  // namespace data
 }  // namespace rhchme

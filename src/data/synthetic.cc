@@ -37,10 +37,23 @@ Status SyntheticCorpusOptions::Validate() const {
   if (corrupted_doc_fraction < 0.0 || corrupted_doc_fraction > 1.0) {
     return Status::InvalidArgument("corrupted_doc_fraction must be in [0,1]");
   }
+  if (corruption_magnitude < 0.0) {
+    return Status::InvalidArgument("corruption_magnitude must be >= 0");
+  }
+  if (relation_dropout < 0.0 || relation_dropout >= 1.0) {
+    return Status::InvalidArgument("relation_dropout must be in [0,1)");
+  }
   return Status::OK();
 }
 
 namespace {
+
+// Noise-injection sub-streams of the generator seed. Dedicated streams
+// keep the corrupted-row/dropped-entry draws independent of how many
+// draws the clean generation consumed, so the same seed selects the same
+// corrupted rows no matter which unrelated options change.
+constexpr uint64_t kCorruptionStream = 0xc042u;
+constexpr uint64_t kDropoutStream = 0xd409u;
 
 /// Difficulty shared by the D1'–D4' presets, calibrated so the absolute
 /// FScore/NMI levels land in the paper's reported range (Tables III/IV)
@@ -322,13 +335,22 @@ Result<MultiTypeRelationalData> GenerateSyntheticCorpus(
   la::Matrix doc_term = TfIdf(doc_term_counts, opts.tfidf);
   la::Matrix doc_concept = TfIdf(doc_concept_counts, opts.tfidf);
 
+  // ---- Relation sparsification (missing observations) ---------------------
+  if (opts.relation_dropout > 0.0) {
+    Rng drop_rng = StreamRng(opts.seed, kDropoutStream);
+    DropEntries(&doc_term, opts.relation_dropout, &drop_rng);
+    DropEntries(&doc_concept, opts.relation_dropout, &drop_rng);
+    DropEntries(&term_concept_counts, opts.relation_dropout, &drop_rng);
+  }
+
   // ---- Sample-wise corruption (exercises the L2,1 error matrix) -----------
   if (opts.corrupted_doc_fraction > 0.0) {
     RowCorruptionOptions c;
     c.row_fraction = opts.corrupted_doc_fraction;
     c.magnitude = opts.corruption_magnitude;
-    CorruptRows(&doc_term, c, &rng);
-    CorruptRows(&doc_concept, c, &rng);
+    Rng corrupt_rng = StreamRng(opts.seed, kCorruptionStream);
+    CorruptRows(&doc_term, c, &corrupt_rng);
+    CorruptRows(&doc_concept, c, &corrupt_rng);
   }
 
   // ---- Concept labels: the owning class is the ground truth ---------------
@@ -394,6 +416,12 @@ Status BlockWorldOptions::Validate() const {
   if (dropout < 0.0 || dropout >= 1.0) {
     return Status::InvalidArgument("dropout must be in [0,1)");
   }
+  if (corrupted_fraction < 0.0 || corrupted_fraction > 1.0) {
+    return Status::InvalidArgument("corrupted_fraction must be in [0,1]");
+  }
+  if (corruption_magnitude < 0.0) {
+    return Status::InvalidArgument("corruption_magnitude must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -430,6 +458,18 @@ Result<MultiTypeRelationalData> GenerateBlockWorld(
         }
       }
       blocks[k][l] = std::move(r);
+    }
+  }
+
+  // Sample-wise corruption of type-0 objects, before features are
+  // assembled so the corrupted blocks and the derived features agree.
+  if (opts.corrupted_fraction > 0.0) {
+    RowCorruptionOptions c;
+    c.row_fraction = opts.corrupted_fraction;
+    c.magnitude = opts.corruption_magnitude;
+    Rng corrupt_rng = StreamRng(opts.seed, kCorruptionStream);
+    for (std::size_t l = 1; l < types; ++l) {
+      CorruptRows(&blocks[0][l], c, &corrupt_rng);
     }
   }
 

@@ -71,9 +71,17 @@ struct SyntheticCorpusOptions {
   double concept_noise_hits = 3.0;
   /// Fraction of document rows whose R-blocks are corrupted (sample-wise,
   /// matching the paper's L2,1 noise model). 0 disables corruption.
+  /// Drawn from its own DeriveStreamSeed stream of `seed`, so the
+  /// corrupted-row set depends only on the seed and the fraction — not on
+  /// how many draws the clean generation consumed before it.
   double corrupted_doc_fraction = 0.0;
   /// Spike size relative to the block's mean positive entry.
   double corruption_magnitude = 3.0;
+  /// Probability that an entry of each relation block is zeroed after
+  /// tf-idf weighting (missing observations — the sparsity axis of the
+  /// robustness scenario grid). Applied before corruption and block
+  /// balancing from its own DeriveStreamSeed stream. 0 disables.
+  double relation_dropout = 0.0;
   /// Term/concept cluster counts; 0 means "same as the number of classes"
   /// (the paper sweeps m/10..m/100; that is exposed, not forced).
   std::size_t term_clusters = 0;
@@ -127,6 +135,13 @@ struct BlockWorldOptions {
   double noise = 0.25;
   /// Zero out entries with this probability (sparsity of R).
   double dropout = 0.3;
+  /// Fraction of type-0 objects whose relation rows receive sample-wise
+  /// spikes (the corruption axis of the robustness scenario grid, same
+  /// L2,1 noise model as the corpus generator). Applied before features
+  /// are assembled, from its own DeriveStreamSeed stream. 0 disables.
+  double corrupted_fraction = 0.0;
+  /// Spike size relative to each block's mean positive entry.
+  double corruption_magnitude = 3.0;
   uint64_t seed = 7;
 
   Status Validate() const;

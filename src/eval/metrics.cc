@@ -139,7 +139,10 @@ Result<double> AdjustedRandIndex(const std::vector<std::size_t>& truth,
   if (total2 == 0.0) return 0.0;
   const double expected = sum_class * sum_cluster / total2;
   const double max_index = 0.5 * (sum_class + sum_cluster);
-  if (max_index - expected == 0.0) return 0.0;
+  // max_index == expected only when both partitions are all-singletons or
+  // both are a single cluster — identical trivial partitions. Score them
+  // as perfect agreement, matching the NMI single-block convention.
+  if (max_index - expected == 0.0) return 1.0;
   return (sum_joint - expected) / (max_index - expected);
 }
 

@@ -9,6 +9,7 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "la/gemm.h"
+#include "scoped_num_threads.h"
 
 namespace rhchme {
 namespace baselines {
@@ -267,6 +268,91 @@ TEST(Drcc, ValidationErrors) {
   opts.col_clusters = 2;
   opts.lambda = -1.0;
   EXPECT_FALSE(RunDrcc(x, opts).ok());
+}
+
+// ---- Thread-count determinism ---------------------------------------------
+//
+// The scenario quality gate (tools/quality_compare.py) compares baseline
+// metrics exactly against a committed artefact, which is only sound if
+// every baseline honours the library's determinism contract:
+// bit-identical results for any pool size given a fixed seed.
+
+/// Runs `fit` under pool sizes 1 and 4 and returns both outcomes.
+template <typename Fn>
+auto FitUnderThreadCounts(Fn fit) {
+  ScopedNumThreads one(1);
+  auto a = fit();
+  ScopedNumThreads four(4);
+  auto b = fit();
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+void ExpectIdenticalHocc(const fact::HoccResult& a, const fact::HoccResult& b) {
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  for (std::size_t k = 0; k < a.labels.size(); ++k) {
+    EXPECT_EQ(a.labels[k], b.labels[k]) << "type " << k;
+  }
+  ASSERT_EQ(a.objective_trace.size(), b.objective_trace.size());
+  for (std::size_t i = 0; i < a.objective_trace.size(); ++i) {
+    EXPECT_EQ(a.objective_trace[i], b.objective_trace[i]) << "iteration " << i;
+  }
+}
+
+TEST(Determinism, SrcBitIdenticalAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  SrcOptions opts;
+  opts.max_iterations = 15;
+  opts.seed = 5;
+  auto [a, b] = FitUnderThreadCounts([&] { return RunSrc(d, opts); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectIdenticalHocc(a.value(), b.value());
+}
+
+TEST(Determinism, SnmtfBitIdenticalAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  SnmtfOptions opts;
+  opts.lambda = 1.0;
+  opts.max_iterations = 15;
+  opts.seed = 5;
+  auto [a, b] = FitUnderThreadCounts([&] { return RunSnmtf(d, opts); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectIdenticalHocc(a.value(), b.value());
+}
+
+TEST(Determinism, RmcBitIdenticalAcrossThreadCounts) {
+  data::MultiTypeRelationalData d = SmallData();
+  RmcOptions opts;
+  opts.lambda = 1.0;
+  opts.max_iterations = 15;
+  opts.seed = 5;
+  auto [a, b] = FitUnderThreadCounts([&] { return RunRmc(d, opts); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectIdenticalHocc(a.value().hocc, b.value().hocc);
+  ASSERT_EQ(a.value().candidate_weights.size(),
+            b.value().candidate_weights.size());
+  for (std::size_t i = 0; i < a.value().candidate_weights.size(); ++i) {
+    EXPECT_EQ(a.value().candidate_weights[i], b.value().candidate_weights[i]);
+  }
+}
+
+TEST(Determinism, DrccBitIdenticalAcrossThreadCounts) {
+  Rng rng(41);
+  la::Matrix x = BlockMatrix(&rng);
+  DrccOptions opts;
+  opts.row_clusters = 3;
+  opts.col_clusters = 3;
+  opts.max_iterations = 15;
+  opts.seed = 5;
+  auto [a, b] = FitUnderThreadCounts([&] { return RunDrcc(x, opts); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().row_labels, b.value().row_labels);
+  EXPECT_EQ(a.value().col_labels, b.value().col_labels);
+  ASSERT_EQ(a.value().objective_trace.size(),
+            b.value().objective_trace.size());
+  for (std::size_t i = 0; i < a.value().objective_trace.size(); ++i) {
+    EXPECT_EQ(a.value().objective_trace[i], b.value().objective_trace[i])
+        << "iteration " << i;
+  }
 }
 
 }  // namespace

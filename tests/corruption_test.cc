@@ -108,6 +108,68 @@ TEST(GaussianNoise, ChangesRoughlyEveryEntry) {
   EXPECT_GT(changed, 95u);
 }
 
+TEST(RowCorruptionOptions, ValidatesRanges) {
+  RowCorruptionOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+
+  opts.row_fraction = -0.1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.row_fraction = 1.1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.row_fraction = 1.0;
+  EXPECT_TRUE(opts.Validate().ok());
+
+  opts.entry_fraction = -1e-9;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.entry_fraction = 2.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.entry_fraction = 0.0;
+  EXPECT_TRUE(opts.Validate().ok());
+
+  opts.magnitude = -3.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.magnitude = std::nan("");
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.magnitude = 0.0;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(RowCorruptionOptions, NanFractionsAreRejected) {
+  // NaN compares false against every bound — the range checks must be
+  // written so NaN cannot slip through as "in range".
+  RowCorruptionOptions opts;
+  opts.row_fraction = std::nan("");
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.row_fraction = 0.5;
+  opts.entry_fraction = std::nan("");
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(DropEntries, HonoursProbabilityAndOnlyZeroes) {
+  la::Matrix m(100, 100, 1.0);
+  Rng rng(10);
+  DropEntries(&m, 0.3, &rng);
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) == 0.0) {
+        ++dropped;
+      } else {
+        EXPECT_EQ(m(i, j), 1.0);
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropEntries, ZeroProbabilityIsNoOp) {
+  la::Matrix m(8, 8, 2.0);
+  la::Matrix original = m;
+  Rng rng(11);
+  DropEntries(&m, 0.0, &rng);
+  EXPECT_EQ(la::MaxAbsDiff(m, original), 0.0);
+}
+
 TEST(SparseSpikes, ApproximatelyHonoursProbability) {
   la::Matrix m(100, 100, 0.0);
   Rng rng(9);

@@ -2,6 +2,8 @@
 
 #include "eval/metrics.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
@@ -95,6 +97,16 @@ TEST(Nmi, SingleClusterConventions) {
   EXPECT_DOUBLE_EQ(Nmi(one, one).value(), 1.0);
 }
 
+TEST(Nmi, AllSingletonConventions) {
+  // Both partitions all-singletons: identical, maximally informative.
+  Labels singletons = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(Nmi(singletons, singletons).value(), 1.0);
+  // Singletons against a 2-class truth: MI = H(truth), so the normalised
+  // score is sqrt(H(truth)/log n) = sqrt(ln2/ln4) here.
+  Labels truth = {0, 0, 1, 1};
+  EXPECT_NEAR(Nmi(truth, singletons).value(), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
 TEST(Nmi, SymmetricInArguments) {
   Rng rng(1);
   Labels a(50), b(50);
@@ -131,9 +143,31 @@ TEST(Purity, PerfectIsOne) {
   EXPECT_DOUBLE_EQ(Purity(y, y).value(), 1.0);
 }
 
+TEST(Purity, TrivialPartitionBounds) {
+  Labels truth = {0, 0, 0, 1, 2, 2};
+  // One cluster: purity is the largest class fraction.
+  EXPECT_NEAR(Purity(truth, Labels(6, 0)).value(), 0.5, 1e-12);
+  // All singletons: every cluster is trivially pure.
+  Labels singletons = {0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Purity(truth, singletons).value(), 1.0);
+}
+
 TEST(Ari, PerfectIsOne) {
   Labels y = {0, 0, 1, 1, 2, 2};
   EXPECT_NEAR(AdjustedRandIndex(y, y).value(), 1.0, 1e-12);
+}
+
+TEST(Ari, TrivialPartitionConventions) {
+  Labels truth = {0, 0, 1, 1};
+  Labels one = {0, 0, 0, 0};
+  Labels singletons = {0, 1, 2, 3};
+  // Identical trivial partitions score 1 (matching the NMI convention);
+  // a trivial partition against anything else carries no information.
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(one, one).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(singletons, singletons).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, one).value(), 0.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, singletons).value(), 0.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(one, singletons).value(), 0.0);
 }
 
 TEST(Ari, RandomPartitionsNearZero) {

@@ -1,0 +1,178 @@
+// Tests for the robustness scenario grid (eval/scenario.h): option
+// validation, cell ordering/coverage, the JSON artefact, and the
+// thread-count determinism contract the CI quality gate depends on.
+
+#include "eval/scenario.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scoped_num_threads.h"
+
+namespace rhchme {
+namespace eval {
+namespace {
+
+/// Smallest grid that still exercises both generators' corruption and
+/// dropout paths; sized to keep the whole file under a few seconds.
+ScenarioGridOptions TinyGrid() {
+  ScenarioGridOptions opts;
+  opts.corruption_fractions = {0.2};
+  opts.sparsity_levels = {0.3};
+  opts.imbalances = {ImbalanceKind::kSkewed};
+  opts.seeds = {1};
+  opts.docs_per_class = 8;
+  opts.n_terms = 40;
+  opts.n_concepts = 24;
+  opts.objects_per_type = 12;
+  opts.max_iterations = 8;
+  return opts;
+}
+
+TEST(ScenarioGridOptions, ValidatesAxesAndMethods) {
+  EXPECT_TRUE(ScenarioGridOptions{}.Validate().ok());
+  EXPECT_TRUE(TinyGrid().Validate().ok());
+
+  ScenarioGridOptions bad = TinyGrid();
+  bad.corruption_fractions = {1.5};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.sparsity_levels = {1.0};  // Dropout must stay below 1.
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.seeds.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.methods = {"RHCHME", "KMEANS"};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.rhchme_variants = {{"semi", "exact"}};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.rhchme_variants = {{"implicit", "annoy"}};
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.docs_per_class = 4;  // Too small for the 4:2:1 skew.
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RunScenarioGrid, CoversEveryCellMethodAndVariant) {
+  ScenarioGridOptions opts = TinyGrid();
+  opts.corruption_fractions = {0.0, 0.2};
+  opts.seeds = {1, 2};
+  opts.methods = {"RHCHME", "SNMTF"};
+  opts.rhchme_variants = {{"implicit", "exact"}, {"sparse", "exact"}};
+
+  Result<ScenarioReport> report = RunScenarioGrid(opts);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // 1 imbalance x 2 corruption x 1 sparsity, 3 slots each.
+  const std::vector<ScenarioCell>& cells = report.value().cells;
+  ASSERT_EQ(cells.size(), 6u);
+  for (const ScenarioCell& c : cells) {
+    EXPECT_EQ(c.replicates, 2);
+    EXPECT_GE(c.nmi, 0.0);
+    EXPECT_LE(c.nmi, 1.0);
+    EXPECT_GE(c.purity, 0.0);
+    EXPECT_LE(c.purity, 1.0);
+  }
+  // Cells are ordered (imbalance, corruption, sparsity, method) with
+  // RHCHME variants expanded in listed order.
+  EXPECT_EQ(cells[0].corruption, 0.0);
+  EXPECT_EQ(cells[0].variant, "implicit+exact");
+  EXPECT_EQ(cells[1].variant, "sparse+exact");
+  EXPECT_EQ(cells[2].method, "SNMTF");
+  EXPECT_EQ(cells[3].corruption, 0.2);
+
+  // The implicit and sparse-R cores solve the same objective and must
+  // trace-match: identical labels, identical seed-averaged metrics.
+  EXPECT_EQ(cells[0].nmi, cells[1].nmi);
+  EXPECT_EQ(cells[3].nmi, cells[4].nmi);
+}
+
+TEST(RunScenarioGrid, BlockWorldWorkloadRuns) {
+  ScenarioGridOptions opts = TinyGrid();
+  opts.workload = ScenarioWorkload::kBlockWorld;
+  opts.methods = {"RHCHME", "DR-T"};
+  opts.rhchme_variants = {{"implicit", "descent"}};
+
+  Result<ScenarioReport> report = RunScenarioGrid(opts);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_EQ(report.value().cells.size(), 2u);
+  EXPECT_EQ(report.value().cells[0].variant, "implicit+descent");
+  EXPECT_EQ(report.value().cells[1].method, "DR-T");
+}
+
+// The CI gate compares metric doubles exactly against a committed
+// baseline, so a grid run must be bit-identical for any pool size.
+TEST(RunScenarioGrid, BitIdenticalAcrossThreadCounts) {
+  ScenarioGridOptions opts = TinyGrid();
+  opts.methods = {"RHCHME", "DR-T", "SRC", "SNMTF", "RMC"};
+  opts.rhchme_variants = {{"implicit", "exact"}, {"implicit", "descent"}};
+
+  Result<ScenarioReport> one(Status::Internal("unset"));
+  Result<ScenarioReport> four(Status::Internal("unset"));
+  {
+    ScopedNumThreads guard(1);
+    one = RunScenarioGrid(opts);
+  }
+  {
+    ScopedNumThreads guard(4);
+    four = RunScenarioGrid(opts);
+  }
+  ASSERT_TRUE(one.ok()) << one.status().message();
+  ASSERT_TRUE(four.ok()) << four.status().message();
+  ASSERT_EQ(one.value().cells.size(), four.value().cells.size());
+  for (std::size_t i = 0; i < one.value().cells.size(); ++i) {
+    const ScenarioCell& a = one.value().cells[i];
+    const ScenarioCell& b = four.value().cells[i];
+    SCOPED_TRACE(a.method + "/" + a.variant);
+    EXPECT_EQ(a.nmi, b.nmi);
+    EXPECT_EQ(a.ari, b.ari);
+    EXPECT_EQ(a.purity, b.purity);
+    EXPECT_EQ(a.fscore, b.fscore);
+  }
+}
+
+TEST(WriteScenarioReportJson, EmitsContextAndCells) {
+  ScenarioGridOptions opts = TinyGrid();
+  opts.methods = {"SNMTF"};
+  Result<ScenarioReport> report = RunScenarioGrid(opts);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  const std::string path =
+      ::testing::TempDir() + "/scenario_report_test.json";
+  ASSERT_TRUE(WriteScenarioReportJson(report.value(), path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"rhchme_build_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"rhchme_simd\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"corpus\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"SNMTF\""), std::string::npos);
+  EXPECT_NE(json.find("\"replicates\": 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteScenarioReportJson, RejectsUnwritablePath) {
+  ScenarioReport empty;
+  EXPECT_FALSE(
+      WriteScenarioReportJson(empty, "/nonexistent-dir/out.json").ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace rhchme

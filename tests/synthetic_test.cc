@@ -196,6 +196,83 @@ TEST(SyntheticCorpus, MapAlignmentStrengthensConceptSignal) {
   EXPECT_GT(within_across_ratio(0.9), within_across_ratio(0.0));
 }
 
+// Rows of `dirty` whose doc-term block differs from `clean` — the
+// corrupted-row set as observable from the outside.
+std::vector<std::size_t> ChangedDocRows(const MultiTypeRelationalData& clean,
+                                        const MultiTypeRelationalData& dirty) {
+  const la::Matrix& a = clean.Relation(0, 1);
+  const la::Matrix& b = dirty.Relation(0, 1);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (a(i, j) != b(i, j)) {
+        rows.push_back(i);
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(SyntheticCorpus, CorruptionDrawsFromItsOwnSeedStream) {
+  // The corrupted-row set must depend only on (seed, fraction): changing
+  // an option whose draws happen elsewhere in the generation (the
+  // doc-concept noise channel) must not move the corruption. Before the
+  // DeriveStreamSeed stream, the corruption consumed the tail of the main
+  // generator, so any upstream option change reshuffled the rows.
+  SyntheticCorpusOptions clean = SmallCorpus();
+  clean.balance_blocks = false;  // Keep doc-term independent of the rest.
+  SyntheticCorpusOptions dirty = clean;
+  dirty.corrupted_doc_fraction = 0.3;
+  SyntheticCorpusOptions dirty_other_noise = dirty;
+  dirty_other_noise.concept_noise_hits = 9.0;
+
+  MultiTypeRelationalData c = GenerateSyntheticCorpus(clean).value();
+  MultiTypeRelationalData d1 = GenerateSyntheticCorpus(dirty).value();
+  MultiTypeRelationalData d2 =
+      GenerateSyntheticCorpus(dirty_other_noise).value();
+
+  std::vector<std::size_t> rows1 = ChangedDocRows(c, d1);
+  std::vector<std::size_t> rows2 = ChangedDocRows(c, d2);
+  EXPECT_FALSE(rows1.empty());
+  EXPECT_EQ(rows1, rows2);
+  // Stronger: the whole corrupted doc-term block is bit-identical — the
+  // concept-channel change cannot leak into it.
+  EXPECT_EQ(la::MaxAbsDiff(d1.Relation(0, 1), d2.Relation(0, 1)), 0.0);
+}
+
+TEST(SyntheticCorpus, RelationDropoutSparsifiesDeterministically) {
+  SyntheticCorpusOptions o = SmallCorpus();
+  o.relation_dropout = 0.5;
+  MultiTypeRelationalData a = GenerateSyntheticCorpus(o).value();
+  MultiTypeRelationalData b = GenerateSyntheticCorpus(o).value();
+  EXPECT_EQ(la::MaxAbsDiff(a.Relation(0, 1), b.Relation(0, 1)), 0.0);
+  EXPECT_EQ(la::MaxAbsDiff(a.Relation(1, 2), b.Relation(1, 2)), 0.0);
+
+  auto zeros = [](const la::Matrix& m) {
+    std::size_t z = 0;
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (m(i, j) == 0.0) ++z;
+      }
+    }
+    return z;
+  };
+  MultiTypeRelationalData dense = GenerateSyntheticCorpus(SmallCorpus()).value();
+  EXPECT_GT(zeros(a.Relation(0, 1)), zeros(dense.Relation(0, 1)));
+}
+
+TEST(SyntheticCorpus, DropoutValidation) {
+  SyntheticCorpusOptions o = SmallCorpus();
+  o.relation_dropout = 1.0;
+  EXPECT_FALSE(GenerateSyntheticCorpus(o).ok());
+  o.relation_dropout = -0.1;
+  EXPECT_FALSE(GenerateSyntheticCorpus(o).ok());
+  o.relation_dropout = 0.0;
+  o.corruption_magnitude = -1.0;
+  EXPECT_FALSE(GenerateSyntheticCorpus(o).ok());
+}
+
 // ---- BlockWorld ------------------------------------------------------------
 
 TEST(BlockWorld, ShapesAndLabels) {
@@ -250,6 +327,32 @@ TEST(BlockWorld, WithinClassMassDominates) {
     }
   }
   EXPECT_GT(within / nw, 2.0 * across / na);
+}
+
+TEST(BlockWorld, CorruptionSpikesType0RowsAndKeepsFeaturesConsistent) {
+  BlockWorldOptions o;
+  o.objects_per_type = {20, 16, 12};
+  o.n_classes = 2;
+  o.dropout = 0.0;
+  o.seed = 99;
+  BlockWorldOptions dirty = o;
+  dirty.corrupted_fraction = 0.25;
+  MultiTypeRelationalData c = GenerateBlockWorld(o).value();
+  MultiTypeRelationalData d = GenerateBlockWorld(dirty).value();
+
+  // Some type-0 rows changed, none of the type-1/2-only block did.
+  EXPECT_GT(la::MaxAbsDiff(c.Relation(0, 1), d.Relation(0, 1)), 0.0);
+  EXPECT_EQ(la::MaxAbsDiff(c.Relation(1, 2), d.Relation(1, 2)), 0.0);
+
+  // Features are assembled after corruption: type 0's leading feature
+  // block is exactly its corrupted (0,1) relation rows.
+  const la::Matrix feat01 =
+      d.Type(0).features.Block(0, 0, 20, 16);
+  EXPECT_EQ(la::MaxAbsDiff(feat01, d.Relation(0, 1)), 0.0);
+
+  // Same seed → same corrupted data.
+  MultiTypeRelationalData d2 = GenerateBlockWorld(dirty).value();
+  EXPECT_EQ(la::MaxAbsDiff(d.Relation(0, 1), d2.Relation(0, 1)), 0.0);
 }
 
 TEST(BlockWorld, ValidationErrors) {

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare a rhchme_scenarios JSON run against the committed baseline.
+
+Guards the clustering-quality trajectory in CI — the quality twin of
+tools/bench_compare.py:
+
+  * refuses to accept a current JSON produced by a **debug** build: the
+    committed baseline is generated from Release, and while metrics are
+    deterministic *within* a build, floating-point contraction differs
+    across optimisation levels, so a debug comparison measures the
+    build gap, not a regression;
+  * refuses a SIMD kernel-path mismatch (scalar vs avx2+fma vs neon)
+    for the same reason — different kernels, different rounding,
+    different k-means trajectories;
+  * fails (exit 1) when any cell present in both files dropped by more
+    than --threshold (default 0.05, absolute) in NMI, ARI, purity or
+    FScore. Metrics are seed-averaged and bit-identical across thread
+    counts, so any drop beyond the threshold is an algorithmic change,
+    not machine noise;
+  * cells missing from either side are reported but never fatal, so
+    extending or trimming the grid does not break CI;
+  * `seconds` is informational and never compared.
+
+Usage:
+  python3 tools/quality_compare.py \
+      [--current build/QUALITY_scenarios.json] \
+      [--baseline QUALITY_scenarios.baseline.json] \
+      [--threshold 0.05] [--allow-debug] [--allow-isa-mismatch]
+
+Regenerating the baseline (Release build only):
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+  (cd build && ./rhchme_scenarios --quick)
+  cp build/QUALITY_scenarios.json QUALITY_scenarios.baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = ("nmi", "ari", "purity", "fscore")
+
+
+def cell_key(cell):
+    """Identity of a grid cell: everything but the measured values."""
+    return (cell.get("workload"), cell.get("imbalance"),
+            cell.get("corruption"), cell.get("sparsity"),
+            cell.get("method"), cell.get("variant"))
+
+
+def format_key(key):
+    workload, imbalance, corruption, sparsity, method, variant = key
+    name = f"{method}+{variant}" if variant else method
+    return (f"{workload}/{imbalance}/corrupt={corruption:g}/"
+            f"sparse={sparsity:g}/{name}")
+
+
+def load_cells(path):
+    """Returns (context, {key: cell}) for a rhchme_scenarios JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    cells = {}
+    for cell in doc.get("cells", []):
+        cells[cell_key(cell)] = cell
+    return doc.get("context", {}), cells
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="build/QUALITY_scenarios.json",
+                        help="JSON produced by the run under test")
+    parser.add_argument("--baseline", default="QUALITY_scenarios.baseline.json",
+                        help="committed reference JSON")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="absolute per-metric drop that fails "
+                             "(default 0.05)")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="accept a debug-build current JSON (local "
+                             "debugging only; CI must not pass this)")
+    parser.add_argument("--allow-isa-mismatch", action="store_true",
+                        help="compare runs even when current and baseline "
+                             "were produced by different SIMD kernel paths")
+    args = parser.parse_args()
+
+    try:
+        cur_ctx, current = load_cells(args.current)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read --current {args.current}: {e}")
+        return 1
+    try:
+        base_ctx, baseline = load_cells(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read --baseline {args.baseline}: {e}")
+        return 1
+
+    build_type = str(cur_ctx.get("rhchme_build_type", "unknown")).lower()
+    if build_type != "release" and not args.allow_debug:
+        print(f"error: {args.current} was produced by a "
+              f"{build_type!r} build; the committed baseline is Release "
+              "and rounding differs across optimisation levels. Re-run "
+              "rhchme_scenarios from a Release build (or pass "
+              "--allow-debug for local experiments).")
+        return 1
+
+    cur_isa = cur_ctx.get("rhchme_simd")
+    base_isa = base_ctx.get("rhchme_simd")
+    if (cur_isa is not None and base_isa is not None and cur_isa != base_isa
+            and not args.allow_isa_mismatch):
+        print(f"error: SIMD kernel path mismatch: current was built with "
+              f"{cur_isa!r} but the baseline with {base_isa!r}; different "
+              "kernels round differently and the comparison would measure "
+              "that, not a quality regression. Rebuild with the matching "
+              "RHCHME_ENABLE_SIMD setting, regenerate the baseline, or "
+              "pass --allow-isa-mismatch.")
+        return 1
+
+    shared = sorted(set(current) & set(baseline), key=str)
+    only_current = sorted(set(current) - set(baseline), key=str)
+    only_baseline = sorted(set(baseline) - set(current), key=str)
+
+    if not shared:
+        print("error: no grid cells shared between current and baseline; "
+              "nothing to compare.")
+        return 1
+
+    regressions = []
+    improvements = 0
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        for metric in METRICS:
+            if metric not in base or metric not in cur:
+                continue
+            drop = float(base[metric]) - float(cur[metric])
+            if drop > args.threshold:
+                regressions.append((key, metric, float(base[metric]),
+                                    float(cur[metric])))
+            elif drop < -args.threshold:
+                improvements += 1
+
+    for key in only_current:
+        print(f"note: {format_key(key)} has no baseline entry (new cell?)")
+    for key in only_baseline:
+        print(f"note: {format_key(key)} missing from current run "
+              "(grid trimmed?)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) dropped more than "
+              f"{args.threshold} against the baseline:")
+        for key, metric, base, cur in regressions:
+            print(f"  {format_key(key)}: {metric} "
+                  f"{base:.4f} -> {cur:.4f} ({cur - base:+.4f})")
+        return 1
+
+    print(f"OK: {len(shared)} cells x {len(METRICS)} metrics within "
+          f"{args.threshold} of baseline "
+          f"({improvements} metric(s) improved beyond it).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
