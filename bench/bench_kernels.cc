@@ -48,6 +48,7 @@ void BM_GemmNN(benchmark::State& state) {
   la::Matrix c;
   for (auto _ : state) {
     la::MultiplyInto(a, b, &c);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(c.data());
   }
   const double flops = 2.0 * static_cast<double>(n) * n * n;
@@ -66,6 +67,7 @@ void BM_GemmTallSkinny(benchmark::State& state) {
   la::Matrix out;
   for (auto _ : state) {
     la::MultiplyInto(m, g, &out);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(out.data());
   }
   const double flops = 2.0 * static_cast<double>(n) * n * c;
@@ -80,6 +82,7 @@ void BM_Gram(benchmark::State& state) {
   la::Matrix g = RandomMatrix(n, c, 5);
   for (auto _ : state) {
     la::Matrix gtg = la::Gram(g);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(gtg.data());
   }
   // Upper triangle of a c x c result, each entry an n-length dot.
@@ -236,6 +239,7 @@ void BM_SparseTransposedDenseScatter(benchmark::State& state) {
   la::Matrix out;
   for (auto _ : state) {
     a.MultiplyTransposedDenseInto(b, &out);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(out.data());
   }
   SetKernelCounters(state, 2.0 * static_cast<double>(a.nnz()) * c);
@@ -254,6 +258,7 @@ void BM_SparseTransposedDenseCsc(benchmark::State& state) {
   la::Matrix out;
   for (auto _ : state) {
     a.MultiplyTransposedDenseInto(b, &out);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(out.data());
   }
   SetKernelCounters(state, 2.0 * static_cast<double>(a.nnz()) * c);
@@ -398,6 +403,7 @@ void BM_MultiplicativeIteration(benchmark::State& state) {
     auto s = fact::SolveCentralS(g, r, 1e-9);
     fact::MultiplicativeGUpdate(r, s.value(), 1.0, &lap_pos, &lap_neg,
                                 1e-12, &g);
+    // lint:stride-ok(DoNotOptimize sink: pointer identity only, no element access)
     benchmark::DoNotOptimize(g.data());
   }
   // Dominated by the n² x c products: M G, Mᵀ G, and the Laplacian terms.

@@ -143,6 +143,7 @@ TEST(AlignedStorage, PaddedStrideRoundsUpToCacheLine) {
 }
 
 TEST(AlignedStorage, AlignedVectorBufferIsAligned) {
+  // lint:memstats-ok(13-element probe asserting the allocator's alignment contract)
   AlignedVector<double> v(13, 1.0);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u);
 }

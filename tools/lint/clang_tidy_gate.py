@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Run clang-tidy (config: .clang-tidy) and gate CI on NEW findings only.
+
+The committed baseline (tools/lint/CLANG_TIDY.baseline.json) records the
+accepted findings as {"<relpath>::<check>": count}. This gate fails when
+a (file, check) pair appears that the baseline does not know, or when a
+known pair's count grows — so the tree can only ratchet down, while
+pre-existing findings never block unrelated work. Line numbers are
+deliberately not part of the fingerprint: they churn on every edit.
+
+Bootstrap: a baseline with "bootstrap": true (the committed state until
+the first CI run on a machine with clang-tidy) reports findings, writes
+the would-be baseline next to the current one (build/CLANG_TIDY.findings
+.json by default), and exits 0 with a loud note to commit it. This keeps
+the gate honest on machines without clang-tidy while giving CI a
+one-commit path to a real ratchet.
+
+Usage:
+  python3 tools/lint/clang_tidy_gate.py \
+      [--compile-commands build/compile_commands.json] \
+      [--baseline tools/lint/CLANG_TIDY.baseline.json] \
+      [--clang-tidy clang-tidy-15] [--jobs N] \
+      [--update-baseline]
+
+Exit codes: 0 gate passed (or bootstrap), 1 new findings, 2 setup error
+(missing clang-tidy binary or compile_commands.json).
+"""
+
+import argparse
+import collections
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "tools", "lint",
+                                "CLANG_TIDY.baseline.json")
+
+# Only first-party translation units are gated; headers are reached via
+# HeaderFilterRegex in .clang-tidy.
+GATED_DIRS = ("src/", "bench/", "tools/", "tests/")
+
+_FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def find_clang_tidy(explicit):
+    candidates = [explicit] if explicit else []
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        candidates.append(env)
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(20, 13, -1))
+    for c in candidates:
+        if c and shutil.which(c):
+            return shutil.which(c)
+    return None
+
+
+def gated_sources(compile_commands):
+    out = []
+    for entry in compile_commands:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", ""), entry.get("file", "")))
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        if rel.startswith(GATED_DIRS) and "tools/lint/fixtures" not in rel:
+            out.append(path)
+    return sorted(set(out))
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, check=False)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = _FINDING_RE.match(line)
+        if not m:
+            continue
+        fpath = os.path.realpath(m.group("path"))
+        if not fpath.startswith(REPO_ROOT + os.sep):
+            continue  # System/third-party headers.
+        rel = os.path.relpath(fpath, REPO_ROOT).replace(os.sep, "/")
+        if "tools/lint/fixtures" in rel:
+            continue
+        for check in m.group("check").split(","):
+            findings.append((rel, check.strip(), int(m.group("line")),
+                             m.group("msg")))
+    return findings
+
+
+def to_counts(findings):
+    counts = collections.Counter(f"{rel}::{check}"
+                                 for rel, check, _line, _msg in findings)
+    return dict(sorted(counts.items()))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-commands",
+                        default=os.path.join(REPO_ROOT, "build",
+                                             "compile_commands.json"))
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--clang-tidy", default=None,
+                        help="binary to use (default: $CLANG_TIDY, then "
+                             "clang-tidy[-N] on PATH)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from this run's findings "
+                             "(clears the bootstrap flag)")
+    parser.add_argument("--findings-out", default=None,
+                        help="where to write the machine-readable findings "
+                             "(default: <build dir>/CLANG_TIDY.findings.json)")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        print("error: no clang-tidy binary found (tried --clang-tidy, "
+              "$CLANG_TIDY, clang-tidy[-20..-14] on PATH). Install "
+              "clang-tidy or point --clang-tidy at one.")
+        return 2
+
+    try:
+        with open(args.compile_commands, "r", encoding="utf-8") as f:
+            compile_commands = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {args.compile_commands}: {e}\n"
+              "Configure first: cmake -B build -S . "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+        return 2
+
+    build_dir = os.path.dirname(os.path.abspath(args.compile_commands))
+    sources = gated_sources(compile_commands)
+    if not sources:
+        print("error: compile_commands.json lists no gated sources "
+              f"(under {', '.join(GATED_DIRS)})")
+        return 2
+
+    print(f"clang-tidy gate: {len(sources)} TU(s) with {clang_tidy}")
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for result in pool.map(
+                lambda p: run_one(clang_tidy, build_dir, p), sources):
+            findings.extend(result)
+    findings.sort()
+    counts = to_counts(findings)
+
+    findings_out = args.findings_out or os.path.join(
+        build_dir, "CLANG_TIDY.findings.json")
+    payload = {
+        "bootstrap": False,
+        "tool": os.path.basename(clang_tidy),
+        "findings": counts,
+    }
+    try:
+        with open(findings_out, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+    except OSError as e:
+        print(f"note: could not write {findings_out}: {e}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({sum(counts.values())} finding(s), "
+              f"{len(counts)} fingerprint(s))")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline_doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read baseline {args.baseline}: {e}")
+        return 2
+    baseline = baseline_doc.get("findings", {})
+
+    new = []
+    for key, count in counts.items():
+        accepted = baseline.get(key, 0)
+        if count > accepted:
+            new.append((key, accepted, count))
+    fixed = [(k, v) for k, v in baseline.items() if counts.get(k, 0) < v]
+
+    for key, accepted, count in new:
+        print(f"NEW: {key}: {count} (baseline {accepted})")
+    for key, v in fixed:
+        print(f"note: {key}: improved to {counts.get(key, 0)} "
+              f"(baseline {v}) — ratchet down with --update-baseline")
+
+    total = sum(counts.values())
+    if baseline_doc.get("bootstrap"):
+        print(f"\nBOOTSTRAP: baseline has no recorded run yet; observed "
+              f"{total} finding(s) across {len(counts)} fingerprint(s). "
+              f"Commit {os.path.relpath(findings_out, REPO_ROOT)} as "
+              f"tools/lint/CLANG_TIDY.baseline.json (or rerun with "
+              "--update-baseline) to arm the ratchet. Exiting 0.")
+        return 0
+    if new:
+        print(f"\nFAIL: {len(new)} new clang-tidy fingerprint(s) vs "
+              f"baseline. Fix them, or if accepted deliberately, "
+              "regenerate with --update-baseline and commit the diff.")
+        return 1
+    print(f"\nOK: no new clang-tidy findings ({total} accepted by "
+          f"baseline, {len(fixed)} fingerprint(s) improved).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+// Special fixture (see selftest.py): an annotation with an empty reason
+// must itself be a violation — the reason is the audit trail.
+#include <random>
+
+uint64_t Salt() {
+  std::random_device rd;  // lint:determinism-ok()
+  return rd();
+}

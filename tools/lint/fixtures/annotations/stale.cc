@@ -1,0 +1,5 @@
+// Special fixture (see selftest.py): an annotation that suppresses
+// nothing must produce a stale-annotation warning (not a violation).
+int Identity(int x) {
+  return x;  // lint:stride-ok(nothing strided here at all)
+}

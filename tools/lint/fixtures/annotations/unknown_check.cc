@@ -1,0 +1,5 @@
+// Special fixture (see selftest.py): annotations naming a check that
+// does not exist must warn — typos silently suppressing nothing.
+int Identity(int x) {
+  return x;  // lint:frobnicate-ok(no such check)
+}

@@ -1,0 +1,16 @@
+// Must-flag: non-const reference accessor — shared state becomes
+// mutable through an innocuous-looking getter (the ErrorMatrix
+// const-read race came from this shape).
+#include "la/matrix.h"
+
+namespace rhchme {
+
+class SharedState {
+ public:
+  la::Matrix& centroids() { return centroids_; }
+
+ private:
+  la::Matrix centroids_;
+};
+
+}  // namespace rhchme

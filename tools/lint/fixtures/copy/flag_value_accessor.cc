@@ -1,0 +1,15 @@
+// Must-flag: by-value return of a stored matrix — a full n x n copy on
+// every call (the PR 5 per-iteration transposed-relation copy class).
+#include "la/matrix.h"
+
+namespace rhchme {
+
+class Member {
+ public:
+  la::Matrix relation() const { return relation_; }
+
+ private:
+  la::Matrix relation_;
+};
+
+}  // namespace rhchme

@@ -1,0 +1,15 @@
+// Must-pass: an annotated mutable accessor on a single-threaded builder.
+#include "la/matrix.h"
+
+namespace rhchme {
+
+class EnsembleBuilder {
+ public:
+  // lint:copy-ok(builder is thread-local during construction; never shared)
+  la::Matrix& scratch() { return scratch_; }
+
+ private:
+  la::Matrix scratch_;
+};
+
+}  // namespace rhchme

@@ -1,0 +1,27 @@
+// Must-pass: the blessed accessor shape, plus value-returning factories
+// (fresh values, not stored members) which are legitimate by-value.
+#include <utility>
+
+#include "la/matrix.h"
+
+namespace rhchme {
+
+class Member {
+ public:
+  const la::Matrix& relation() const { return relation_; }
+
+  // Factory: builds a fresh value — not a bare member return.
+  la::Matrix Doubled() const {
+    la::Matrix out = relation_;
+    out.Scale(2.0);
+    return out;
+  }
+
+  // Move-out transfer of ownership is not a copy.
+  la::Matrix Take() { return std::move(relation_); }
+
+ private:
+  la::Matrix relation_;
+};
+
+}  // namespace rhchme

@@ -1,0 +1,11 @@
+// Must-flag: time_since_epoch is the canonical clock-to-integer bridge
+// for "random" seeds; wall-clock values must not reach seeds or results.
+#include <chrono>
+
+#include "util/rng.h"
+
+rhchme::Rng MakeRng() {
+  auto ticks =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return rhchme::Rng(static_cast<uint64_t>(ticks));
+}

@@ -1,0 +1,7 @@
+// Must-flag: C library RNG — unseeded hidden global state.
+#include <cstdlib>
+
+int NoisyPick(int n) {
+  std::srand(42);
+  return std::rand() % n;
+}

@@ -1,0 +1,9 @@
+// Must-flag: hardware entropy + std <random> engine. Both the
+// random_device and the mt19937 tokens are violations.
+#include <random>
+
+double Draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<double>(gen()) / 4294967296.0;
+}

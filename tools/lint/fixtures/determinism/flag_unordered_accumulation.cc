@@ -1,0 +1,12 @@
+// Must-flag: floating-point accumulation in unordered-container
+// iteration order. The sum's rounding depends on the hash seed, load
+// factor and standard library — traces stop being bit-identical.
+#include <unordered_map>
+
+double TotalWeight(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,8 @@
+// Must-flag: wall-clock seeding — different stream every run.
+#include <ctime>
+
+#include "util/rng.h"
+
+rhchme::Rng MakeRng() { return rhchme::Rng(time(nullptr)); }
+
+unsigned LegacySeed() { return static_cast<unsigned>(time(NULL)); }

@@ -1,0 +1,7 @@
+// Must-pass: a deliberate entropy seam, annotated with its reason.
+#include <random>
+
+uint64_t EntropySalt() {
+  std::random_device rd;  // lint:determinism-ok(opt-in --entropy CLI salt, never defaulted)
+  return (static_cast<uint64_t>(rd()) << 32) | rd();
+}

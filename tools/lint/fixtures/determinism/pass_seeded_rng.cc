@@ -1,0 +1,18 @@
+// Must-pass: the blessed determinism idioms — explicit seeds, derived
+// per-stream generators, ordered-container accumulation, and `time` as
+// an ordinary identifier (not a wall-clock call).
+#include <map>
+
+#include "util/rng.h"
+
+double OrderedTotal(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;
+  return total;
+}
+
+double Member(uint64_t seed, uint64_t member) {
+  rhchme::Rng rng = rhchme::StreamRng(seed, member);
+  double time = rng.Uniform();  // 'time' as a variable is fine.
+  return time;
+}

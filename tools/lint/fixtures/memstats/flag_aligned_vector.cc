@@ -1,0 +1,9 @@
+// Must-flag: AlignedVector<double> outside src/la/ — the aligned
+// allocator is a kernel-layer detail; direct use skips NoteAlloc.
+#include <cstddef>
+
+#include "la/aligned.h"
+
+rhchme::la::AlignedVector<double> Scratch(std::size_t n) {
+  return rhchme::la::AlignedVector<double>(n * n, 0.0);
+}

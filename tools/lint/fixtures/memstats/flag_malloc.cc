@@ -1,0 +1,7 @@
+// Must-flag: C allocation of a dense buffer.
+#include <cstddef>
+#include <cstdlib>
+
+double* RawBuffer(std::size_t n) {
+  return static_cast<double*>(malloc(n * n * sizeof(double)));
+}

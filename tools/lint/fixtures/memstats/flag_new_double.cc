@@ -1,0 +1,5 @@
+// Must-flag: raw dense buffer — invisible to la::memstats, so the
+// solver-memory tests would no longer prove anything about this path.
+#include <cstddef>
+
+double* MakeDense(std::size_t n) { return new double[n * n]; }

@@ -1,0 +1,9 @@
+// Must-flag: product-shaped std::vector<double> — an n x n working set
+// that never hits the memstats seam.
+#include <cstddef>
+#include <vector>
+
+std::vector<double> Gram(std::size_t n) {
+  std::vector<double> gram(n * n, 0.0);
+  return gram;
+}

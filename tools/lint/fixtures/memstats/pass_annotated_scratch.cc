@@ -1,0 +1,9 @@
+// Must-pass: an annotated product-shaped buffer with a bounded factor.
+#include <cstddef>
+#include <vector>
+
+std::vector<double> ChunkSums(std::size_t nchunks) {
+  // lint:memstats-ok(nchunks x 8 partials; bounded by the pool size, not n^2)
+  std::vector<double> partial(nchunks * 8, 0.0);
+  return partial;
+}

@@ -1,0 +1,14 @@
+// Must-pass: dense working sets through la::Matrix (memstats-counted)
+// and linear std::vector<double> (O(n), not a dense matrix shape).
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+rhchme::la::Matrix Dense(std::size_t n) {
+  return rhchme::la::Matrix(n, n);
+}
+
+std::vector<double> Degrees(std::size_t n) {
+  return std::vector<double>(n, 0.0);
+}

@@ -1,0 +1,16 @@
+// Must-flag: the PR 4 bug class verbatim — flat (i*cols+j) walk over
+// Matrix::data(). Rows are stride()-spaced, so for any cols() not a
+// multiple of the cache line this reads zero padding instead of the
+// next row's leading elements. Values shift; nothing crashes.
+#include "la/matrix.h"
+
+double SumFlat(const rhchme::la::Matrix& m) {
+  const double* p = m.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      s += p[i * m.cols() + j];
+    }
+  }
+  return s;
+}

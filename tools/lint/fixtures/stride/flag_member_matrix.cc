@@ -1,0 +1,16 @@
+// Must-flag: raw data() on a Matrix class member (declared at class
+// scope, used in a method).
+#include <cstring>
+
+#include "la/matrix.h"
+
+class Snapshot {
+ public:
+  void CopyOut(double* dst) const {
+    // Wrong for padded strides: copies padding into a compact buffer.
+    std::memcpy(dst, state_.data(), state_.rows() * state_.cols() * 8);
+  }
+
+ private:
+  rhchme::la::Matrix state_;
+};

@@ -1,0 +1,17 @@
+// Must-pass: annotated flat uses — the audit trail for benchmark sinks
+// and whole-padded-buffer kernels.
+#include "la/matrix.h"
+
+namespace testing {
+template <typename T>
+void DoNotOptimize(T&&) {}
+}  // namespace testing
+
+void Bench(const rhchme::la::Matrix& c) {
+  // lint:stride-ok(optimizer sink; pointer identity only, no element access)
+  testing::DoNotOptimize(c.data());
+}
+
+double FirstEntry(const rhchme::la::Matrix& m) {
+  return *m.data();  // lint:stride-ok(element (0,0) only; offset 0 is stride-free)
+}

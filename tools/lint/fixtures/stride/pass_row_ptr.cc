@@ -1,0 +1,14 @@
+// Must-pass: the stride-correct idioms — row_ptr(i) for row-contiguous
+// kernels, operator()(i, j) for elements.
+#include "la/matrix.h"
+
+double SumRows(const rhchme::la::Matrix& m) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row_ptr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) s += r[j];
+  }
+  return s;
+}
+
+double Corner(const rhchme::la::Matrix& m) { return m(0, 0); }

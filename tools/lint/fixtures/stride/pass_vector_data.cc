@@ -1,0 +1,18 @@
+// Must-pass: data() on 1-D containers is always legal — and a Matrix
+// with the same NAME in a different function must not poison the
+// receiver typing (per-scope tracking, not per-file).
+#include <vector>
+
+#include "la/matrix.h"
+
+double First(const rhchme::la::Matrix& buf) {
+  return buf(0, 0);  // 'buf' is a Matrix here...
+}
+
+double SumVec() {
+  std::vector<double> buf(64, 1.0);
+  const double* p = buf.data();  // ...and a plain vector here.
+  double s = 0.0;
+  for (std::size_t i = 0; i < buf.size(); ++i) s += p[i];
+  return s;
+}

@@ -1,0 +1,12 @@
+"""Invariant lint suite for the RHCHME codebase.
+
+Statically enforces the contracts the test suite can only probe
+dynamically: determinism (seeded Rng only, no unordered-order FP
+accumulation), stride safety (no raw Matrix::data() arithmetic),
+memstats accounting (dense buffers go through la::Matrix) and copy
+hygiene (no by-value or mutable-ref accessors to stored matrices).
+
+Entry point: tools/lint/rhchme_lint.py. Self-test corpus:
+tools/lint/fixtures, run by tools/lint/selftest.py (ctest:
+lint_selftest).
+"""

@@ -1,0 +1,36 @@
+"""Check registry for the invariant lint suite.
+
+Each check is a module with NAME / DOC / optional ALLOWLIST (path
+prefixes exempt from the check) and run(ctx). The Check wrapper gives
+the engine a uniform surface.
+"""
+
+from . import copy_hygiene, determinism, memstats, stride
+
+
+class Check:
+    def __init__(self, module):
+        self.NAME = module.NAME
+        self.DOC = module.DOC
+        self._allowlist = tuple(getattr(module, "ALLOWLIST", ()))
+        self._run = module.run
+
+    def allows(self, relpath):
+        """True when `relpath` is exempt from this check."""
+        return any(relpath.startswith(prefix) for prefix in self._allowlist)
+
+    def run(self, ctx):
+        self._run(ctx)
+
+
+ALL_CHECKS = [Check(m) for m in (determinism, stride, memstats, copy_hygiene)]
+
+
+def by_name(names):
+    wanted = set(names)
+    known = {c.NAME for c in ALL_CHECKS}
+    unknown = wanted - known
+    if unknown:
+        raise KeyError(f"unknown check(s): {', '.join(sorted(unknown))}; "
+                       f"known: {', '.join(sorted(known))}")
+    return [c for c in ALL_CHECKS if c.NAME in wanted]

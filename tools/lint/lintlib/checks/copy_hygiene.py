@@ -1,0 +1,89 @@
+"""Copy-hygiene check (PR 5's bug class).
+
+Two accessor shapes cost real memory and correctness on this codebase:
+
+  1. By-value return of a stored matrix — `Matrix relation() const
+     { return r_; }` copies an n x n (or n x c) buffer on every call.
+     PR 5 found call sites paying a full transposed-relation copy per
+     solver iteration this way; the fix is `const Matrix&`.
+  2. Non-const reference accessors on shared state — `Matrix& relation()
+     { return r_; }` lets callers mutate state that other threads read
+     (the ErrorMatrix const-read race fixed in PR 5 came from exactly
+     this shape), and defeats the copy-on-write discipline of the
+     ensemble members.
+
+Detection: member-function bodies of the form
+
+    [la::]Matrix|SparseMatrix [&] name() [const] { return member_; }
+
+where `member_` is a trailing-underscore identifier (the project's
+member naming convention). Factories that return fresh values
+(`Transposed()`, `ToDense()`) do not match — their bodies are not a bare
+member return. Moves (`return std::move(m_);`) do not match either.
+
+Escape hatch: // lint:copy-ok(<reason>) — e.g. a deliberately mutable
+builder object not shared across threads.
+"""
+
+NAME = "copy"
+DOC = ("flags by-value returns of stored matrices and non-const "
+       "reference accessors (use const Matrix&)")
+
+_TYPES = {"Matrix", "SparseMatrix"}
+
+
+def run(ctx):
+    toks = ctx.source.tokens
+    n = len(toks)
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text not in _TYPES:
+            continue
+        # Qualified uses: accept la::Matrix, reject other::Matrix and
+        # member access.
+        if i >= 1 and toks[i - 1].text == "::":
+            if not (i >= 2 and toks[i - 2].text == "la"):
+                continue
+        if i >= 1 and toks[i - 1].text in (".", "->", "new"):
+            continue
+        type_line = tok.line
+        j = i + 1
+        is_ref = False
+        is_const_ret = i >= 1 and toks[i - 1].text == "const" or (
+            i >= 3 and toks[i - 1].text == "::" and toks[i - 3].text == "const")
+        while j < n and toks[j].text in ("&", "*"):
+            if toks[j].text == "&":
+                is_ref = True
+            j += 1
+        # Function name, possibly qualified: name or Qual::name.
+        if j >= n or toks[j].kind != "ident":
+            continue
+        name = toks[j].text
+        j += 1
+        while j + 1 < n and toks[j].text == "::" and toks[j + 1].kind == "ident":
+            name = toks[j + 1].text
+            j += 2
+        # Parameterless call signature: ( )
+        if j + 1 >= n or toks[j].text != "(" or toks[j + 1].text != ")":
+            continue
+        j += 2
+        if j < n and toks[j].text == "const":
+            j += 1
+        # Body: { return member_; }
+        if (j + 4 < n and toks[j].text == "{" and toks[j + 1].text == "return"
+                and toks[j + 2].kind == "ident"
+                and toks[j + 2].text.endswith("_")
+                and toks[j + 3].text == ";" and toks[j + 4].text == "}"):
+            member = toks[j + 2].text
+            if not is_ref:
+                ctx.report(
+                    type_line, NAME,
+                    f"'{name}()' returns stored matrix '{member}' by value "
+                    "— a full buffer copy per call; return const "
+                    "Matrix& instead")
+            elif not is_const_ret:
+                ctx.report(
+                    type_line, NAME,
+                    f"'{name}()' hands out a non-const reference to "
+                    f"'{member}': shared state becomes mutable through an "
+                    "accessor (PR 5's const-read race class); return "
+                    "const Matrix& from a const member function")

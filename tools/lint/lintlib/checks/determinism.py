@@ -1,0 +1,197 @@
+"""Determinism check.
+
+The repo's reproducibility contract (docs/ARCHITECTURE.md): every
+stochastic component draws from an explicitly seeded rhchme::Rng, fits
+are bit-identical across thread counts, and quality gates in CI compare
+metrics exactly. Three bug classes break that silently:
+
+  1. Hidden entropy sources — rand()/srand(), std::random_device,
+     wall-clock values used as seeds. Run-to-run output changes and the
+     exact CI gates turn flaky.
+  2. std <random> engines — std::mt19937 etc. are seedable but their
+     distributions (std::normal_distribution, std::shuffle ordering) are
+     implementation-defined, so results differ across standard
+     libraries. util/rng implements its own transforms for this reason.
+  3. Floating-point accumulation driven by unordered-container
+     iteration — the iteration order of std::unordered_map/set is
+     unspecified, so `for (kv : umap) sum += ...` changes the rounding
+     (and therefore the trace) between libstdc++ versions, hash seeds
+     and loads.
+
+Escape hatch: // lint:determinism-ok(<reason>) — e.g. for a seam that
+deliberately mixes in entropy behind a flag.
+"""
+
+NAME = "determinism"
+DOC = ("bans rand()/std::random_device/std <random> engines/wall-clock "
+       "seeds and FP accumulation in unordered-container order outside "
+       "util/rng")
+
+# The blessed RNG seam implements the generator itself.
+ALLOWLIST = ("src/util/rng.h", "src/util/rng.cc")
+
+# Identifiers that are never legitimate outside the RNG seam.
+BANNED_IDENTS = {
+    "rand": "rand() is unseeded global state; draw from rhchme::Rng",
+    "srand": "srand() seeds hidden global state; use rhchme::Rng(seed)",
+    "rand_r": "rand_r() bypasses the Rng seam; use rhchme::Rng",
+    "drand48": "drand48() is hidden global state; use rhchme::Rng",
+    "lrand48": "lrand48() is hidden global state; use rhchme::Rng",
+    "random_device": "std::random_device is nondeterministic entropy; "
+                     "derive seeds with DeriveStreamSeed",
+    "mt19937": "std <random> engines/distributions are implementation-"
+               "defined; use rhchme::Rng",
+    "mt19937_64": "std <random> engines/distributions are implementation-"
+                  "defined; use rhchme::Rng",
+    "minstd_rand": "std <random> engines are implementation-defined here; "
+                   "use rhchme::Rng",
+    "minstd_rand0": "std <random> engines are implementation-defined here; "
+                    "use rhchme::Rng",
+    "default_random_engine": "std::default_random_engine differs per "
+                             "standard library; use rhchme::Rng",
+    "ranlux24": "std <random> engines are implementation-defined here; "
+                "use rhchme::Rng",
+    "ranlux48": "std <random> engines are implementation-defined here; "
+                "use rhchme::Rng",
+    "knuth_b": "std <random> engines are implementation-defined here; "
+               "use rhchme::Rng",
+    "random_shuffle": "ordering depends on an unspecified source; use "
+                      "Rng::Shuffle",
+    "time_since_epoch": "wall-clock values must not reach seeds or "
+                        "results; timing output belongs in Stopwatch",
+}
+
+# `time(nullptr)` / `time(NULL)` / `time(0)` — the classic wall-clock
+# seed. Matched as a call so struct fields named `time` stay legal.
+_TIME_ARGS = {"nullptr", "NULL", "0"}
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+
+_ACCUM_OPS = {"+=", "-=", "*=", "/="}
+
+
+def _skip_template_args(toks, i):
+    """Given toks[i] == '<', returns the index just past the matching '>'."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":  # Closes two template levels.
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif t in (";", "{", "}"):
+            return i  # Not template args after all (comparison operator).
+        i += 1
+    return i
+
+
+def run(ctx):
+    toks = ctx.source.tokens
+    unordered_vars = set()
+
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident":
+            continue
+        text = tok.text
+
+        if text in BANNED_IDENTS:
+            # `rand`-family entries must be calls (next token '(') to
+            # avoid flagging identifiers like a member named `rand`
+            # never being... still flag: such names are banned style
+            # anyway, but keep calls-only for the short common word.
+            if text == "rand" and not (i + 1 < len(toks)
+                                       and toks[i + 1].text == "("):
+                continue
+            ctx.report(tok.line, NAME, f"'{text}': {BANNED_IDENTS[text]}")
+            continue
+
+        if text == "time" and i + 2 < len(toks) and toks[i + 1].text == "(":
+            arg = toks[i + 2].text
+            if arg in _TIME_ARGS:
+                ctx.report(tok.line, NAME,
+                           "'time(...)' wall-clock seed; seeds must be "
+                           "explicit (rhchme::Rng / DeriveStreamSeed)")
+            continue
+
+        # Track variables declared with an unordered container type:
+        #   std::unordered_map<K, V> name ...
+        if text in _UNORDERED:
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                j = _skip_template_args(toks, j)
+            while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "ident":
+                unordered_vars.add(toks[j].text)
+            continue
+
+    if not unordered_vars:
+        return
+
+    # Range-for over an unordered container with accumulating ops in the
+    # body: `for (const auto& kv : name) { acc += kv.second; }`.
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text not in unordered_vars:
+            continue
+        if i == 0 or toks[i - 1].text != ":":
+            continue
+        # Confirm we are inside a for-head: scan back to '(' preceded by
+        # 'for' within a few tokens.
+        k = i - 2
+        depth = 0
+        is_for = False
+        while k >= 0 and i - k < 64:
+            t = toks[k].text
+            if t == ")":
+                depth += 1
+            elif t == "(":
+                if depth == 0:
+                    is_for = (k >= 1 and toks[k - 1].text == "for")
+                    break
+                depth -= 1
+            k -= 1
+        if not is_for:
+            continue
+        # Body: the statement/braced block after the for-head's ')'.
+        j = i + 1
+        while j < len(toks) and toks[j].text != ")":
+            j += 1
+        j += 1
+        if j >= len(toks):
+            continue
+        end = len(toks)
+        if toks[j].text == "{":
+            depth = 0
+            for k in range(j, len(toks)):
+                t = toks[k].text
+                if t == "{":
+                    depth += 1
+                elif t == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = k
+                        break
+            body = toks[j:end]
+        else:
+            for k in range(j, len(toks)):
+                if toks[k].text == ";":
+                    end = k
+                    break
+            body = toks[j:end]
+        for b in body:
+            if b.text in _ACCUM_OPS:
+                ctx.report(
+                    b.line, NAME,
+                    f"accumulation ('{b.text}') inside iteration over "
+                    f"unordered container '{tok.text}': iteration order is "
+                    "unspecified, so floating-point rounding differs "
+                    "between runs/platforms; iterate a sorted view or use "
+                    "an ordered container")
+                break

@@ -1,0 +1,99 @@
+"""Optional libclang refinement for receiver typing.
+
+When the `clang` Python bindings (and a matching libclang shared
+library) are importable, the stride check can resolve real receiver
+types instead of the file-scoped token heuristic: every member call
+named `data` whose receiver type spells la::Matrix is collected per
+file. CI and the container image need no extra dependency — absence of
+libclang silently falls back to the tokenizer, which is the behavioural
+contract covered by the fixture self-test.
+
+build_index() returns {relpath: [line, ...]} or None when libclang is
+unavailable or parsing fails; callers treat None as "use the token
+heuristic".
+"""
+
+import json
+import os
+import shlex
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # noqa: PLC0415 — optional dependency.
+        # Fail fast if the shared library is missing, before any parse.
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def _compile_args(compile_commands, path):
+    """Compiler args for `path` from a compile_commands.json list, with
+    the bits libclang chokes on (output/input/-c) removed."""
+    for entry in compile_commands:
+        if os.path.realpath(entry.get("file", "")) == os.path.realpath(path):
+            if "arguments" in entry:
+                args = list(entry["arguments"])
+            else:
+                args = shlex.split(entry.get("command", ""))
+            cleaned = []
+            skip = False
+            for a in args[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a == "-c" or os.path.realpath(a) == os.path.realpath(path):
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                cleaned.append(a)
+            return cleaned
+    return None
+
+
+def build_index(root, paths, compile_commands_path=None):
+    cindex = _load_cindex()
+    if cindex is None:
+        return None
+
+    commands = []
+    cc_path = compile_commands_path or os.path.join(root, "build",
+                                                    "compile_commands.json")
+    if os.path.exists(cc_path):
+        try:
+            with open(cc_path, "r", encoding="utf-8") as f:
+                commands = json.load(f)
+        except (OSError, ValueError):
+            commands = []
+
+    index = cindex.Index.create()
+    fallback_args = ["-std=c++17", "-I" + os.path.join(root, "src")]
+    out = {}
+    for path in paths:
+        args = _compile_args(commands, path) or fallback_args
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            return None  # Broken setup: fall back entirely, not per-file.
+        lines = []
+        for cursor in tu.cursor.walk_preorder():
+            try:
+                if (cursor.kind == cindex.CursorKind.CALL_EXPR
+                        and cursor.spelling == "data"):
+                    ref = cursor.referenced
+                    parent_type = (ref.semantic_parent.type.spelling
+                                   if ref and ref.semantic_parent else "")
+                    if "la::Matrix" in parent_type or \
+                            parent_type.endswith("::Matrix"):
+                        if (cursor.location.file
+                                and os.path.realpath(
+                                    cursor.location.file.name)
+                                == os.path.realpath(path)):
+                            lines.append(cursor.location.line)
+            except Exception:
+                continue
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        out[relpath] = lines
+    return out
