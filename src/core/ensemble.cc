@@ -120,15 +120,31 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
   std::vector<la::SparseMatrix> knn_lap(num_types);
   std::vector<Status> task_status(tasks.size());
 
+  // Non-finite feature entries (kNonFinite row corruption, bad upstream
+  // data) would propagate through every distance and subspace iterate
+  // into the whole joint Laplacian. Affected types work on a zero-filled
+  // local copy; the clean common case pays only the finiteness scan and
+  // shares the caller's matrices untouched.
+  std::vector<la::Matrix> sanitized(num_types);
+  for (std::size_t k = 0; k < num_types; ++k) {
+    const la::Matrix& features = data.Type(k).features;
+    if (!features.AllFinite()) {
+      sanitized[k] = features;
+      sanitized[k].ReplaceNonFinite(0.0);
+    }
+  }
+
   RunTasks(tasks.size(), [&](std::size_t t) {
     const MemberTask& task = tasks[t];
-    const data::ObjectType& type = data.Type(task.type);
+    const la::Matrix& features = sanitized[task.type].empty()
+                                     ? data.Type(task.type).features
+                                     : sanitized[task.type];
     if (task.subspace) {
       SubspaceOptions sub = opts.subspace;
       // Per-type stream keeps the W initialisations independent.
       sub.seed = DeriveStreamSeed(opts.subspace.seed, task.type);
       Result<SubspaceResult> learned =
-          LearnSubspaceAffinity(type.features, sub);
+          LearnSubspaceAffinity(features, sub);
       if (!learned.ok()) {
         task_status[t] = learned.status();
         return;
@@ -149,7 +165,7 @@ Result<HeterogeneousEnsemble> BuildEnsemble(
       knn_opts.descent.seed =
           DeriveStreamSeed(opts.knn.descent.seed, task.type);
       Result<la::SparseMatrix> knn =
-          graph::BuildKnnGraph(type.features, knn_opts);
+          graph::BuildKnnGraph(features, knn_opts);
       if (!knn.ok()) {
         task_status[t] = knn.status();
         return;

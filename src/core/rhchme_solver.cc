@@ -1,8 +1,13 @@
 #include "core/rhchme_solver.h"
 
 #include <cmath>
+#include <limits>
+#include <new>
+#include <utility>
 
+#include "core/checkpoint.h"
 #include "la/gemm.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -26,6 +31,15 @@ Status RhchmeOptions::Validate() const {
         "sparse_r == kAlways conflicts with explicit_materialization; the "
         "reference core is inherently dense");
   }
+  if (checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    return Status::InvalidArgument("checkpoint_every requires checkpoint_path");
+  }
+  if (resume && checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume requires checkpoint_path");
+  }
   return ensemble.Validate();
 }
 
@@ -34,7 +48,8 @@ RhchmeResult::RhchmeResult(const RhchmeResult& other)
       ensemble(other.ensemble),
       error_scale(other.error_scale),
       error_residual(other.error_residual),
-      error_sparse_r(other.error_sparse_r) {
+      error_sparse_r(other.error_sparse_r),
+      diagnostics(other.diagnostics) {
   std::lock_guard<std::mutex> lock(other.error_mu_);
   error_dense_ = other.error_dense_;
 }
@@ -51,6 +66,7 @@ RhchmeResult& RhchmeResult::operator=(const RhchmeResult& other) {
   error_scale = other.error_scale;
   error_residual = other.error_residual;
   error_sparse_r = other.error_sparse_r;
+  diagnostics = other.diagnostics;
   std::lock_guard<std::mutex> lock(error_mu_);
   error_dense_ = std::move(dense);
   return *this;
@@ -64,6 +80,7 @@ RhchmeResult::RhchmeResult(RhchmeResult&& other) noexcept
       error_scale(std::move(other.error_scale)),
       error_residual(std::move(other.error_residual)),
       error_sparse_r(std::move(other.error_sparse_r)),
+      diagnostics(other.diagnostics),
       error_dense_(std::move(other.error_dense_)) {}
 
 RhchmeResult& RhchmeResult::operator=(RhchmeResult&& other) noexcept {
@@ -73,6 +90,7 @@ RhchmeResult& RhchmeResult::operator=(RhchmeResult&& other) noexcept {
   error_scale = std::move(other.error_scale);
   error_residual = std::move(other.error_residual);
   error_sparse_r = std::move(other.error_sparse_r);
+  diagnostics = other.diagnostics;
   error_dense_ = std::move(other.error_dense_);
   return *this;
 }
@@ -151,6 +169,64 @@ double ObjectiveDataTerms(const la::Matrix& r, const la::Matrix& g,
     l21 = error_matrix.L21Norm();
   }
   return residual.FrobeniusNormSquared() + beta * l21;
+}
+
+/// Objective-divergence guard: multiplicative updates descend
+/// monotonically on healthy data (Theorem 1), so an accepted objective
+/// jumping more than this factor above the previous one is a numerical
+/// blow-up, not progress — roll it back.
+constexpr double kDivergenceFactor = 10.0;
+/// A rolled-back iteration replays deterministically, so a second
+/// consecutive failure means the blow-up is persistent (not a one-shot
+/// fault): stop degraded instead of spinning.
+constexpr int kMaxConsecutiveBacktracks = 2;
+
+bool ObjectiveLooksBad(double objective, double prev) {
+  if (!std::isfinite(objective)) return true;
+  return std::isfinite(prev) &&
+         std::fabs(objective) >
+             kDivergenceFactor * std::max(1.0, std::fabs(prev));
+}
+
+/// Resume probe: loads opts.checkpoint_path and validates it against this
+/// fit's identity. OK + *loaded=false means no snapshot yet (fresh fit);
+/// OK + *loaded=true hands the snapshot back; anything else — corruption,
+/// fingerprint/core/shape mismatch — is a real error (never a silent
+/// restart).
+Status TryLoadResume(const std::string& path, uint64_t fingerprint,
+                     SolverCoreId core_id, std::size_t n, std::size_t c,
+                     std::size_t er_size, SolverSnapshot* snap, bool* loaded) {
+  *loaded = false;
+  Result<SolverSnapshot> r = LoadSolverSnapshot(path);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kNotFound) return Status::OK();
+    return r.status();
+  }
+  SolverSnapshot s = std::move(r).value();
+  if (s.core_id != core_id) {
+    return Status::FailedPrecondition(
+        "snapshot was written by a different solver core: " + path);
+  }
+  if (s.options_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "snapshot options fingerprint mismatch: " + path);
+  }
+  if (s.g.rows() != n || s.g.cols() != c || s.s.rows() != c ||
+      s.s.cols() != c) {
+    return Status::FailedPrecondition("snapshot factor shape mismatch: " +
+                                      path);
+  }
+  if (s.er_scale.size() != er_size) {
+    return Status::FailedPrecondition("snapshot E_R state mismatch: " + path);
+  }
+  if (s.iteration < 1 ||
+      s.objective_trace.size() != static_cast<std::size_t>(s.iteration)) {
+    return Status::FailedPrecondition(
+        "snapshot iteration/trace inconsistency: " + path);
+  }
+  *snap = std::move(s);
+  *loaded = true;
+  return Status::OK();
 }
 
 }  // namespace
@@ -239,21 +315,17 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     const HeterogeneousEnsemble& ensemble) const {
   RHCHME_RETURN_IF_ERROR(opts_.Validate());
   RHCHME_RETURN_IF_ERROR(data.Validate());
-  Stopwatch watch;
 
   const fact::BlockStructure blocks = fact::BuildBlockStructure(data);
-  const std::size_t n = blocks.total_objects();
-  if (ensemble.laplacian.rows() != n) {
+  if (ensemble.laplacian.rows() != blocks.total_objects()) {
     return Status::InvalidArgument("ensemble Laplacian size mismatch");
   }
-  const bool robust = opts_.use_error_matrix;
-  const bool explicit_core = opts_.explicit_materialization;
 
   // Core selection: sparse-R when forced, or when kAuto sees a joint R
   // sparse enough that the O(nnz + n·c) path wins. The explicit reference
   // core is inherently dense and takes precedence.
-  if (!explicit_core) {
-    bool sparse_core = false;
+  bool sparse_core = false;
+  if (!opts_.explicit_materialization) {
     switch (opts_.sparse_r) {
       case SparseRMode::kAlways:
         sparse_core = true;
@@ -265,11 +337,45 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
             data.JointRDensity() <= opts_.sparse_r_density_threshold;
         break;
     }
-    if (sparse_core) return FitSparseR(data, ensemble, blocks);
   }
 
-  // Step 1 of Algorithm 2: the joint inter-type matrix R.
-  const la::Matrix r = data.BuildJointR();
+  // An allocation failure anywhere in a core — the O(n²) joint R, a
+  // workspace, any kernel temporary — surfaces as a clean Status instead
+  // of an abort: the fit entry point is a recovery seam, not a crash seam.
+  try {
+    if (sparse_core) return FitSparseR(data, ensemble, blocks);
+    return FitDense(data, ensemble, blocks);
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("allocation failure during fit (out of memory)");
+  }
+}
+
+Result<RhchmeResult> Rhchme::FitDense(
+    const data::MultiTypeRelationalData& data,
+    const HeterogeneousEnsemble& ensemble,
+    const fact::BlockStructure& blocks) const {
+  Stopwatch watch;
+  const std::size_t n = blocks.total_objects();
+  const std::size_t c = blocks.total_clusters();
+  const bool robust = opts_.use_error_matrix;
+  const bool explicit_core = opts_.explicit_materialization;
+  const SolverCoreId core_id = explicit_core ? SolverCoreId::kDenseExplicit
+                                             : SolverCoreId::kDenseImplicit;
+
+  RhchmeResult out;
+  out.ensemble = ensemble;
+  fact::HoccResult& res = out.hocc;
+  res.objective_trace.reserve(opts_.max_iterations);
+  FitDiagnostics& diag = out.diagnostics;
+
+  // Step 1 of Algorithm 2: the joint inter-type matrix R. Non-finite
+  // entries (kNonFinite row corruption, bad upstream data) are zeroed and
+  // counted — every downstream kernel assumes finite input.
+  if (util::FaultShouldFail(util::fault_site::kAllocJointR)) {
+    throw std::bad_alloc();
+  }
+  la::Matrix r = data.BuildJointR();
+  diag.nonfinite_input_entries += r.ReplaceNonFinite(0.0);
 
   // ±-parts of L are fixed across iterations (Eq. 21). Sparse on the
   // default core; the explicit reference core densifies them. Neither is
@@ -285,13 +391,6 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     }
   }
 
-  // Initialise G (k-means by default) and E_R = 0.
-  Rng rng(opts_.seed);
-  Result<la::Matrix> init =
-      fact::InitMembership(data, blocks, opts_.init, &rng);
-  if (!init.ok()) return init.status();
-  la::Matrix g = std::move(init).value();
-
   // E_R state. Default core: per-row scales s with E_R = diag(s)·Q — the
   // dense matrix is never formed. Explicit core: the dense E_R of the
   // pre-refactor solver (starts at zero, Algorithm 2).
@@ -301,16 +400,130 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
   if (robust && explicit_core) error.Resize(n, n);
   bool have_error = false;  // True once the first E_R update has run.
 
-  RhchmeResult out;
-  out.ensemble = ensemble;
-  fact::HoccResult& res = out.hocc;
-  res.objective_trace.reserve(opts_.max_iterations);
+  Rng rng(opts_.seed);
+  const uint64_t fingerprint = OptionsFingerprint(opts_, n, c, core_id);
 
-  la::Matrix s;
-  la::Matrix gs;    // n x c staging for G·S.
+  la::Matrix g, s;
+  la::Matrix gs;  // n x c staging for G·S.
+  if (util::FaultShouldFail(util::fault_site::kAllocWorkspace)) {
+    throw std::bad_alloc();
+  }
   la::Matrix work;  // Shared n x n buffer: holds M, then the residual Q.
   double prev_objective = std::numeric_limits<double>::infinity();
-  for (int t = 1; t <= opts_.max_iterations; ++t) {
+  int start_t = 1;
+
+  // Rebuilds the dense E_R rows from the current Q in `work` and the
+  // current scales — the same arithmetic the E_R update uses, so resume
+  // and rollback reproduce the matrix bit-for-bit.
+  auto rebuild_explicit_error = [&]() {
+    util::ParallelFor(0, n, util::GrainForWork(2 * n + 1),
+                      [&](std::size_t r0, std::size_t r1) {
+                        for (std::size_t i = r0; i < r1; ++i) {
+                          const double scale = er_scale[i];
+                          const double* qi = work.row_ptr(i);
+                          double* ei = error.row_ptr(i);
+                          for (std::size_t j = 0; j < n; ++j) {
+                            ei[j] = scale * qi[j];
+                          }
+                        }
+                      });
+  };
+
+  // Rebuilds the loop-carried workspace from the current factors with
+  // the loop's own kernel sequence (Q = R − G·S·Gᵀ); the determinism
+  // contract then makes any replay or continuation bit-identical.
+  auto rebuild_derived_state = [&]() {
+    if (!(robust && have_error)) return;
+    la::MultiplyInto(g, s, &gs);
+    la::MultiplyNTInto(gs, g, &work);
+    work.Scale(-1.0);
+    work.Add(r);
+    if (explicit_core) rebuild_explicit_error();
+  };
+
+  // ---- Resume (or fresh initialisation) ---------------------------------
+  if (opts_.resume) {
+    SolverSnapshot snap;
+    bool resumed = false;
+    RHCHME_RETURN_IF_ERROR(TryLoadResume(opts_.checkpoint_path, fingerprint,
+                                         core_id, n, c, er_scale.size(),
+                                         &snap, &resumed));
+    if (resumed) {
+      g = std::move(snap.g);
+      s = std::move(snap.s);
+      er_scale = std::move(snap.er_scale);
+      have_error = snap.have_error;
+      prev_objective = snap.prev_objective;
+      res.objective_trace = std::move(snap.objective_trace);
+      rng.RestoreState(snap.rng_state);
+      diag = snap.diagnostics;  // Counters resume too (incl. input count).
+      diag.resumed_from_iteration = snap.iteration;
+      res.iterations = snap.iteration;
+      start_t = snap.iteration + 1;
+      rebuild_derived_state();
+    }
+  }
+  if (start_t == 1) {
+    // Initialise G (k-means by default) and E_R = 0.
+    Result<la::Matrix> init =
+        fact::InitMembership(data, blocks, opts_.init, &rng);
+    if (!init.ok()) return init.status();
+    g = std::move(init).value();
+    // Init tripwire: a poisoned initial membership is cleaned like a
+    // poisoned update — zeroed rows become uniform over their block.
+    if (!g.AllFinite()) {
+      ++diag.nan_guard_trips;
+      diag.nonfinite_g_entries += g.ReplaceNonFinite(0.0);
+      fact::NormalizeMembershipRows(blocks, &g);
+    }
+  }
+
+  // Periodic snapshot after an accepted iteration t; failures count and
+  // the fit keeps going (the previous snapshot file stays intact).
+  auto write_checkpoint = [&](int t) {
+    if (opts_.checkpoint_every <= 0 || t % opts_.checkpoint_every != 0) return;
+    SolverSnapshot snap;
+    snap.core_id = core_id;
+    snap.options_fingerprint = fingerprint;
+    snap.iteration = t;
+    snap.prev_objective = prev_objective;
+    snap.have_error = have_error;
+    snap.rng_state = rng.SaveState();
+    snap.diagnostics = diag;
+    snap.g = g;
+    snap.s = s;
+    snap.er_scale = er_scale;
+    snap.objective_trace = res.objective_trace;
+    const Status st = SaveSolverSnapshot(opts_.checkpoint_path, snap);
+    if (st.ok()) {
+      ++diag.snapshots_written;
+    } else {
+      ++diag.snapshot_failures;
+    }
+  };
+
+  // Iteration-start state for the divergence guard's rollback; n·c + c²
+  // copies, cheap next to the n² kernels.
+  la::Matrix g_prev, s_prev;
+  std::vector<double> er_prev;
+  bool have_error_prev = false;
+  int consecutive_backtracks = 0;
+  fact::SolveStats solve_stats;
+
+  // Rolls the loop-carried state back to the last accepted iterate.
+  auto restore_accepted = [&]() {
+    g = g_prev;
+    s = s_prev;
+    if (robust) er_scale = er_prev;
+    have_error = have_error_prev;
+    rebuild_derived_state();
+  };
+
+  for (int t = start_t; t <= opts_.max_iterations; ++t) {
+    g_prev = g;
+    s_prev = s;
+    if (robust) er_prev = er_scale;
+    have_error_prev = have_error;
     // ---- Step 3 prep: M = R - E_R ---------------------------------------
     const la::Matrix* m = &r;  // E_R = 0 (first iteration, or disabled).
     if (robust && have_error) {
@@ -337,8 +550,19 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     }
 
     // ---- Step 3: S update (Eq. 18) on M ---------------------------------
-    Result<la::Matrix> s_new = fact::SolveCentralS(g, *m, opts_.ridge);
-    if (!s_new.ok()) return s_new.status();
+    Result<la::Matrix> s_new =
+        fact::SolveCentralS(g, *m, opts_.ridge, &solve_stats);
+    diag.solve_ridge_retries += solve_stats.ridge_retries;
+    solve_stats.ridge_retries = 0;
+    if (!s_new.ok()) {
+      // The ridge ladder inside the solve already retried, so the failure
+      // is persistent. With no accepted iterate there is nothing to fall
+      // back to; otherwise keep the last accepted iterate, stop degraded.
+      if (res.objective_trace.empty()) return s_new.status();
+      ++diag.degraded_stops;
+      restore_accepted();
+      break;
+    }
     s = std::move(s_new).value();
 
     // ---- Step 4: multiplicative G update (Eq. 21) -----------------------
@@ -350,6 +574,19 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
                                   opts_.mu_eps, &g);
     }
 
+    // NaN tripwire: a poisoned or overflowed update must not fold n²
+    // NaNs into the next iteration. Bad entries are zeroed and the rows
+    // renormalised — an all-zero row becomes uniform over its block, a
+    // valid membership. Healthy fits only pay the AllFinite scan. Runs
+    // BEFORE the Eq. 22 normalisation: its zero-row uniform fallback
+    // (|NaN| sums fail `s > 0`) would silently absorb a NaN row and hide
+    // the recovery from the diagnostics.
+    if (!g.AllFinite()) {
+      ++diag.nan_guard_trips;
+      diag.nonfinite_g_entries += g.ReplaceNonFinite(0.0);
+      fact::NormalizeMembershipRows(blocks, &g);
+    }
+
     // ---- Step 5: row ℓ1 normalisation (Eq. 22) --------------------------
     if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
 
@@ -359,6 +596,10 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
     la::MultiplyNTInto(gs, g, &work);
     work.Scale(-1.0);
     work.Add(r);  // Q = R - G S Gᵀ
+    if (util::FaultShouldFail(util::fault_site::kResidualPoison) &&
+        !work.empty()) {
+      work(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
 
     // ---- Steps 6–7: E_R update (Eq. 25–27) and objective ----------------
     // (beta·D + I)⁻¹ is diagonal: row i of E_R is row i of Q scaled by
@@ -421,8 +662,34 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
 
     const double smooth =
         opts_.lambda != 0.0 ? la::Sandwich(g, ensemble.laplacian) : 0.0;
-    const double objective =
-        data_term + opts_.beta * l21 + opts_.lambda * smooth;
+    double objective = data_term + opts_.beta * l21 + opts_.lambda * smooth;
+    if (util::FaultShouldFail(util::fault_site::kObjectivePoison)) {
+      objective = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // ---- Divergence guard -----------------------------------------------
+    // A non-finite or blown-up objective never lands in the trace. The
+    // iteration is rolled back and replayed (a one-shot fault vanishes on
+    // the deterministic replay); a persistent blow-up stops the fit on the
+    // last accepted iterate.
+    if (ObjectiveLooksBad(objective, prev_objective)) {
+      if (consecutive_backtracks < kMaxConsecutiveBacktracks) {
+        ++consecutive_backtracks;
+        ++diag.backtracks;
+        restore_accepted();
+        --t;  // Replay this iteration from the accepted state.
+        continue;
+      }
+      if (res.objective_trace.empty()) {
+        return Status::NumericalError(
+            "objective non-finite at the first iteration");
+      }
+      ++diag.degraded_stops;
+      restore_accepted();
+      break;
+    }
+    consecutive_backtracks = 0;
+
     res.objective_trace.push_back(objective);
     res.iterations = t;
     if (callback_) callback_(t, g);
@@ -434,6 +701,7 @@ Result<RhchmeResult> Rhchme::FitWithEnsemble(
       break;
     }
     prev_objective = objective;
+    write_checkpoint(t);
   }
 
   res.g = std::move(g);
@@ -461,14 +729,26 @@ Result<RhchmeResult> Rhchme::FitSparseR(
   const std::size_t n = blocks.total_objects();
   const std::size_t c = blocks.total_clusters();
   const bool robust = opts_.use_error_matrix;
+  const SolverCoreId core_id = SolverCoreId::kSparseR;
+
+  RhchmeResult out;
+  out.ensemble = ensemble;
+  fact::HoccResult& res = out.hocc;
+  res.objective_trace.reserve(opts_.max_iterations);
+  FitDiagnostics& diag = out.diagnostics;
 
   // Step 1: the joint R, sparse end-to-end. The CSC mirror is built once
   // so every Rᵀ product of the fit runs the threaded gather path; the row
   // norms ‖r_i‖² anchor the analytic residual norms all fit long. Under
   // assume_symmetric_r no Rᵀ product is ever taken, so the mirror (an
-  // extra O(nnz) of memory) is skipped too.
+  // extra O(nnz) of memory) is skipped too. Non-finite stored entries are
+  // zeroed and counted before anything derives from them.
   const bool sym_r = opts_.assume_symmetric_r;
+  if (util::FaultShouldFail(util::fault_site::kAllocJointR)) {
+    throw std::bad_alloc();
+  }
   la::SparseMatrix r = data.BuildJointRSparse();
+  diag.nonfinite_input_entries += r.ReplaceNonFinite(0.0);
   if (!sym_r) r.BuildCscMirror();
   const std::vector<double> r_norm_sq = r.RowNormsSquared();
 
@@ -478,12 +758,6 @@ Result<RhchmeResult> Rhchme::FitSparseR(
     lap_neg = la::NegativePart(ensemble.laplacian);
   }
 
-  Rng rng(opts_.seed);
-  Result<la::Matrix> init =
-      fact::InitMembership(data, blocks, opts_.init, &rng);
-  if (!init.ok()) return init.status();
-  la::Matrix g = std::move(init).value();
-
   // E_R stays doubly implicit: per-row scales s_i with
   // E_R = diag(s)·(R − H·Gᵀ) — neither the error matrix nor the residual
   // is ever formed.
@@ -491,22 +765,106 @@ Result<RhchmeResult> Rhchme::FitSparseR(
   std::vector<double> row_norm(n, 0.0);
   bool have_error = false;
 
-  RhchmeResult out;
-  out.ensemble = ensemble;
-  fact::HoccResult& res = out.hocc;
-  res.objective_trace.reserve(opts_.max_iterations);
+  Rng rng(opts_.seed);
+  const uint64_t fingerprint = OptionsFingerprint(opts_, n, c, core_id);
 
   // Low-rank iteration state, all n x c or c x c. K = R·G (the one SpMM
   // per iteration), H = G·S, GᵀG and HG = H·(GᵀG) are computed right
   // after each G update and double as the next iteration's implicit-M
   // product inputs — M·G = K − diag(s)·(K − HG) needs exactly them.
-  la::Matrix s, h, k, hg, gtg;
+  la::Matrix g, s, h, k, hg, gtg;
   la::Matrix mg, mtg, gs_scaled, scratch;
-  r.MultiplyDenseInto(g, &k);
-  gtg = la::Gram(g);
-
   double prev_objective = std::numeric_limits<double>::infinity();
-  for (int t = 1; t <= opts_.max_iterations; ++t) {
+  int start_t = 1;
+
+  // Rebuilds the cached low-rank state from the current factors with the
+  // loop's own kernel sequence, so resume and rollback continue
+  // bit-identically with an uninterrupted fit.
+  auto rebuild_derived_state = [&]() {
+    if (have_error) la::MultiplyInto(g, s, &h);
+    r.MultiplyDenseInto(g, &k);
+    gtg = la::Gram(g);
+    if (have_error) la::MultiplyInto(h, gtg, &hg);
+  };
+
+  // ---- Resume (or fresh initialisation) ---------------------------------
+  if (opts_.resume) {
+    SolverSnapshot snap;
+    bool resumed = false;
+    RHCHME_RETURN_IF_ERROR(TryLoadResume(opts_.checkpoint_path, fingerprint,
+                                         core_id, n, c, er_scale.size(),
+                                         &snap, &resumed));
+    if (resumed) {
+      g = std::move(snap.g);
+      s = std::move(snap.s);
+      er_scale = std::move(snap.er_scale);
+      have_error = snap.have_error;
+      prev_objective = snap.prev_objective;
+      res.objective_trace = std::move(snap.objective_trace);
+      rng.RestoreState(snap.rng_state);
+      diag = snap.diagnostics;
+      diag.resumed_from_iteration = snap.iteration;
+      res.iterations = snap.iteration;
+      start_t = snap.iteration + 1;
+    }
+  }
+  if (start_t == 1) {
+    Result<la::Matrix> init =
+        fact::InitMembership(data, blocks, opts_.init, &rng);
+    if (!init.ok()) return init.status();
+    g = std::move(init).value();
+    if (!g.AllFinite()) {
+      ++diag.nan_guard_trips;
+      diag.nonfinite_g_entries += g.ReplaceNonFinite(0.0);
+      fact::NormalizeMembershipRows(blocks, &g);
+    }
+  }
+  if (util::FaultShouldFail(util::fault_site::kAllocWorkspace)) {
+    throw std::bad_alloc();
+  }
+  rebuild_derived_state();
+
+  auto write_checkpoint = [&](int t) {
+    if (opts_.checkpoint_every <= 0 || t % opts_.checkpoint_every != 0) return;
+    SolverSnapshot snap;
+    snap.core_id = core_id;
+    snap.options_fingerprint = fingerprint;
+    snap.iteration = t;
+    snap.prev_objective = prev_objective;
+    snap.have_error = have_error;
+    snap.rng_state = rng.SaveState();
+    snap.diagnostics = diag;
+    snap.g = g;
+    snap.s = s;
+    snap.er_scale = er_scale;
+    snap.objective_trace = res.objective_trace;
+    const Status st = SaveSolverSnapshot(opts_.checkpoint_path, snap);
+    if (st.ok()) {
+      ++diag.snapshots_written;
+    } else {
+      ++diag.snapshot_failures;
+    }
+  };
+
+  la::Matrix g_prev, s_prev;
+  std::vector<double> er_prev;
+  bool have_error_prev = false;
+  int consecutive_backtracks = 0;
+  fact::SolveStats solve_stats;
+
+  auto restore_accepted = [&]() {
+    g = g_prev;
+    s = s_prev;
+    if (robust) er_scale = er_prev;
+    have_error = have_error_prev;
+    rebuild_derived_state();
+  };
+
+  for (int t = start_t; t <= opts_.max_iterations; ++t) {
+    g_prev = g;
+    s_prev = s;
+    if (robust) er_prev = er_scale;
+    have_error_prev = have_error;
     // ---- M·G and Mᵀ·G from the implicit M = R − diag(s)·(R − H·Gᵀ) ------
     const la::Matrix* m_g = &k;  // E_R = 0 (first iteration, or disabled).
     if (robust && have_error) {
@@ -566,14 +924,31 @@ Result<RhchmeResult> Rhchme::FitSparseR(
     // ---- Step 3: S update (Eq. 18) from the c x c products --------------
     la::Matrix gtmg = la::MultiplyTN(g, *m_g);
     Result<la::Matrix> s_new =
-        fact::SolveCentralSFromProducts(gtg, gtmg, opts_.ridge);
-    if (!s_new.ok()) return s_new.status();
+        fact::SolveCentralSFromProducts(gtg, gtmg, opts_.ridge, &solve_stats);
+    diag.solve_ridge_retries += solve_stats.ridge_retries;
+    solve_stats.ridge_retries = 0;
+    if (!s_new.ok()) {
+      // The ridge ladder already retried; persistent. Keep the last
+      // accepted iterate (degraded stop) unless there is none.
+      if (res.objective_trace.empty()) return s_new.status();
+      ++diag.degraded_stops;
+      restore_accepted();
+      break;
+    }
     s = std::move(s_new).value();
 
     // ---- Step 4: multiplicative G update (Eq. 21) -----------------------
-    fact::MultiplicativeGUpdateFromProducts(*m_g, mtg, s, gtg, opts_.lambda,
-                                            &lap_pos, &lap_neg, opts_.mu_eps,
-                                            &g);
+    RHCHME_RETURN_IF_ERROR_CTX(fact::MultiplicativeGUpdateFromProducts(
+        *m_g, mtg, s, gtg, opts_.lambda, &lap_pos, &lap_neg, opts_.mu_eps,
+        &g));
+
+    // NaN tripwire (same contract as the dense cores; before Eq. 22 so
+    // the zero-row fallback cannot silently absorb a NaN row).
+    if (!g.AllFinite()) {
+      ++diag.nan_guard_trips;
+      diag.nonfinite_g_entries += g.ReplaceNonFinite(0.0);
+      fact::NormalizeMembershipRows(blocks, &g);
+    }
 
     // ---- Step 5: row ℓ1 normalisation (Eq. 22) --------------------------
     if (opts_.normalize_rows) fact::NormalizeMembershipRows(blocks, &g);
@@ -606,6 +981,9 @@ Result<RhchmeResult> Rhchme::FitSparseR(
             row_norm[i] = nsq > 0.0 ? std::sqrt(nsq) : 0.0;
           }
         });
+    if (util::FaultShouldFail(util::fault_site::kResidualPoison) && n > 0) {
+      row_norm[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     double data_term = 0.0;
     double l21 = 0.0;
     if (robust) {
@@ -626,8 +1004,30 @@ Result<RhchmeResult> Rhchme::FitSparseR(
 
     const double smooth =
         opts_.lambda != 0.0 ? la::Sandwich(g, ensemble.laplacian) : 0.0;
-    const double objective =
-        data_term + opts_.beta * l21 + opts_.lambda * smooth;
+    double objective = data_term + opts_.beta * l21 + opts_.lambda * smooth;
+    if (util::FaultShouldFail(util::fault_site::kObjectivePoison)) {
+      objective = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // ---- Divergence guard (same contract as the dense cores) ------------
+    if (ObjectiveLooksBad(objective, prev_objective)) {
+      if (consecutive_backtracks < kMaxConsecutiveBacktracks) {
+        ++consecutive_backtracks;
+        ++diag.backtracks;
+        restore_accepted();
+        --t;  // Replay this iteration from the accepted state.
+        continue;
+      }
+      if (res.objective_trace.empty()) {
+        return Status::NumericalError(
+            "objective non-finite at the first iteration");
+      }
+      ++diag.degraded_stops;
+      restore_accepted();
+      break;
+    }
+    consecutive_backtracks = 0;
+
     res.objective_trace.push_back(objective);
     res.iterations = t;
     if (callback_) callback_(t, g);
@@ -639,6 +1039,7 @@ Result<RhchmeResult> Rhchme::FitSparseR(
       break;
     }
     prev_objective = objective;
+    write_checkpoint(t);
   }
 
   res.g = std::move(g);

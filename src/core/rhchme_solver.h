@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/ensemble.h"
@@ -128,7 +129,65 @@ struct RhchmeOptions {
   /// non-assuming path to rounding only, ≤1e-8 relative).
   bool assume_symmetric_r = false;
 
+  // ---- Checkpoint/resume (fault tolerance) -------------------------------
+  /// Snapshot file for periodic solver-state checkpoints. Written with
+  /// write-temp-then-rename semantics, so the file is always a complete
+  /// snapshot (the previous one until the rename lands). Empty = disabled.
+  std::string checkpoint_path;
+  /// Write a snapshot every this many completed iterations (0 = never).
+  /// Requires checkpoint_path.
+  int checkpoint_every = 0;
+  /// Resume from checkpoint_path when the file exists: the fit restores
+  /// G, S, the E_R scales, the objective trace and the RNG stream, then
+  /// continues bit-identically with the uninterrupted trajectory (the
+  /// determinism contract makes this exact, not approximate). A missing
+  /// file means a fresh fit; a corrupt or mismatched snapshot (different
+  /// options fingerprint, solver core, or shapes) is a clean non-OK
+  /// Status, never a silent restart.
+  bool resume = false;
+
   Status Validate() const;
+};
+
+/// Recovery-event counters for one fit. Every numerical guard and
+/// checkpoint event increments a counter instead of (or in addition to)
+/// logging, so robustness is observable: the scenario grid sums
+/// RecoveryEvents() into its per-cell JSON and tests assert exact counts
+/// under fault injection. All counters are zero on a healthy fit.
+struct FitDiagnostics {
+  /// NaN/Inf entries zeroed in the joint R (and feature copies) on input.
+  std::size_t nonfinite_input_entries = 0;
+  /// NaN/Inf entries zeroed in G by the post-update tripwire.
+  std::size_t nonfinite_g_entries = 0;
+  /// Iterations where the post-update G tripwire fired.
+  int nan_guard_trips = 0;
+  /// Boosted-ridge retries of the central c x c solve (fact::SolveStats).
+  int solve_ridge_retries = 0;
+  /// Iterations rolled back by the objective-divergence guard.
+  int backtracks = 0;
+  /// Fits stopped early on an unrecoverable mid-fit failure, keeping the
+  /// last accepted iterate (result is valid but converged == false).
+  int degraded_stops = 0;
+  /// Snapshots successfully written (temp + rename completed).
+  int snapshots_written = 0;
+  /// Snapshot writes that failed; the fit continues, the previous
+  /// snapshot file stays intact.
+  int snapshot_failures = 0;
+  /// Iteration the fit resumed from (0 = fresh fit).
+  int resumed_from_iteration = 0;
+
+  /// Total guard activations — the scenario grid's per-cell
+  /// "recovery_events" field. Snapshot writes are bookkeeping, not
+  /// recoveries, so they are excluded; resuming counts as one event.
+  std::size_t RecoveryEvents() const {
+    return nonfinite_input_entries + nonfinite_g_entries +
+           static_cast<std::size_t>(nan_guard_trips) +
+           static_cast<std::size_t>(solve_ridge_retries) +
+           static_cast<std::size_t>(backtracks) +
+           static_cast<std::size_t>(degraded_stops) +
+           static_cast<std::size_t>(snapshot_failures) +
+           (resumed_from_iteration > 0 ? 1u : 0u);
+  }
 };
 
 /// Per-iteration hook: receives the 1-based iteration index and the
@@ -153,6 +212,8 @@ struct RhchmeResult {
   std::vector<double> error_scale;
   la::Matrix error_residual;
   la::SparseMatrix error_sparse_r;
+  /// Guard/recovery counters for this fit (all zero on a healthy run).
+  FitDiagnostics diagnostics;
 
   // ErrorMatrix()'s lazy cache adds a mutex, so the rule-of-five members
   // are spelled out (same pattern as la::SparseMatrix's CSC cache).
@@ -206,6 +267,13 @@ class Rhchme {
   const RhchmeOptions& options() const { return opts_; }
 
  private:
+  /// The dense cores (implicit workspace or explicit reference): body of
+  /// FitWithEnsemble, separated so the public entry point can convert a
+  /// std::bad_alloc from any core into a clean Status.
+  Result<RhchmeResult> FitDense(const data::MultiTypeRelationalData& data,
+                                const HeterogeneousEnsemble& ensemble,
+                                const fact::BlockStructure& blocks) const;
+
   /// The sparse-R core: joint R as la::SparseMatrix end-to-end, all
   /// solver quantities from the low-rank identities in the header
   /// comment. Allocates no dense n x n matrix (la::memstats-pinned).

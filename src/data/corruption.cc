@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace rhchme {
 namespace data {
@@ -52,7 +53,16 @@ std::vector<std::size_t> CorruptRows(la::Matrix* m,
     double* r = m->row_ptr(i);
     for (std::size_t j = 0; j < m->cols(); ++j) {
       if (rng->Uniform() < opts.entry_fraction) {
-        r[j] += spike * rng->Uniform();
+        // Both payloads draw exactly one extra Uniform per hit entry, so
+        // the sequence of selected entries is mode-independent; kSpike is
+        // byte-identical to the pre-kNonFinite behaviour.
+        if (opts.mode == RowCorruptionMode::kNonFinite) {
+          r[j] = rng->Uniform() < 0.5
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : std::numeric_limits<double>::infinity();
+        } else {
+          r[j] += spike * rng->Uniform();
+        }
       }
     }
   }

@@ -17,6 +17,14 @@
 namespace rhchme {
 namespace data {
 
+/// What a corrupted entry becomes. kSpike is the paper's gross-error
+/// model; kNonFinite plants NaN/±Inf — the "upstream pipeline broke"
+/// failure mode the solver's numerical guards must absorb.
+enum class RowCorruptionMode {
+  kSpike,
+  kNonFinite,
+};
+
 struct RowCorruptionOptions {
   /// Fraction of rows to corrupt, in [0, 1].
   double row_fraction = 0.1;
@@ -24,6 +32,10 @@ struct RowCorruptionOptions {
   double magnitude = 3.0;
   /// Fraction of entries within a corrupted row that receive a spike.
   double entry_fraction = 0.5;
+  /// Entry payload (spikes by default; magnitude is ignored for
+  /// kNonFinite). The kSpike draw sequence is unchanged by this field, so
+  /// existing seeded experiments reproduce exactly.
+  RowCorruptionMode mode = RowCorruptionMode::kSpike;
 
   /// InvalidArgument when either fraction leaves [0, 1], or on a
   /// negative/non-finite magnitude (negative spikes would break the

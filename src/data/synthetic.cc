@@ -348,6 +348,7 @@ Result<MultiTypeRelationalData> GenerateSyntheticCorpus(
     RowCorruptionOptions c;
     c.row_fraction = opts.corrupted_doc_fraction;
     c.magnitude = opts.corruption_magnitude;
+    c.mode = opts.corruption_mode;
     Rng corrupt_rng = StreamRng(opts.seed, kCorruptionStream);
     CorruptRows(&doc_term, c, &corrupt_rng);
     CorruptRows(&doc_concept, c, &corrupt_rng);
@@ -467,6 +468,7 @@ Result<MultiTypeRelationalData> GenerateBlockWorld(
     RowCorruptionOptions c;
     c.row_fraction = opts.corrupted_fraction;
     c.magnitude = opts.corruption_magnitude;
+    c.mode = opts.corruption_mode;
     Rng corrupt_rng = StreamRng(opts.seed, kCorruptionStream);
     for (std::size_t l = 1; l < types; ++l) {
       CorruptRows(&blocks[0][l], c, &corrupt_rng);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/corruption.h"
 #include "data/multitype_data.h"
 #include "data/tfidf.h"
 #include "util/status.h"
@@ -77,6 +78,9 @@ struct SyntheticCorpusOptions {
   double corrupted_doc_fraction = 0.0;
   /// Spike size relative to the block's mean positive entry.
   double corruption_magnitude = 3.0;
+  /// Corrupted-entry payload: spikes (paper model) or NaN/Inf plants (the
+  /// fault-tolerance scenario axis). Passed through to CorruptRows.
+  RowCorruptionMode corruption_mode = RowCorruptionMode::kSpike;
   /// Probability that an entry of each relation block is zeroed after
   /// tf-idf weighting (missing observations — the sparsity axis of the
   /// robustness scenario grid). Applied before corruption and block
@@ -142,6 +146,9 @@ struct BlockWorldOptions {
   double corrupted_fraction = 0.0;
   /// Spike size relative to each block's mean positive entry.
   double corruption_magnitude = 3.0;
+  /// Corrupted-entry payload: spikes or NaN/Inf plants (see
+  /// RowCorruptionMode).
+  RowCorruptionMode corruption_mode = RowCorruptionMode::kSpike;
   uint64_t seed = 7;
 
   Status Validate() const;

@@ -36,6 +36,16 @@ const char* ImbalanceKindName(ImbalanceKind k) {
   return "unknown";
 }
 
+const char* CorruptionModeName(data::RowCorruptionMode m) {
+  switch (m) {
+    case data::RowCorruptionMode::kSpike:
+      return "spike";
+    case data::RowCorruptionMode::kNonFinite:
+      return "nonfinite";
+  }
+  return "unknown";
+}
+
 std::vector<RhchmeVariant> DefaultRhchmeVariants() {
   return {{"implicit", "exact"},
           {"sparse", "exact"},
@@ -59,7 +69,7 @@ bool Contains(const std::vector<std::string>& v, const std::string& s) {
 
 Status ScenarioGridOptions::Validate() const {
   if (corruption_fractions.empty() || sparsity_levels.empty() ||
-      imbalances.empty() || seeds.empty()) {
+      imbalances.empty() || seeds.empty() || corruption_modes.empty()) {
     return Status::InvalidArgument("every grid axis needs at least one value");
   }
   for (double c : corruption_fractions) {
@@ -107,6 +117,7 @@ namespace {
 /// Accumulates one fit outcome per replicate into a seed-averaged cell.
 struct MetricSum {
   double nmi = 0.0, ari = 0.0, purity = 0.0, fscore = 0.0, seconds = 0.0;
+  double recovery = 0.0;  ///< FitDiagnostics::RecoveryEvents(); RHCHME only.
   int n = 0;
 };
 
@@ -146,7 +157,8 @@ std::vector<std::size_t> SkewedSizes(std::size_t base, std::size_t count,
 
 Result<data::MultiTypeRelationalData> MakeCellData(
     const ScenarioGridOptions& opts, ImbalanceKind imbalance,
-    double corruption, double sparsity, uint64_t seed) {
+    double corruption, data::RowCorruptionMode corruption_mode,
+    double sparsity, uint64_t seed) {
   if (opts.workload == ScenarioWorkload::kCorpus) {
     data::SyntheticCorpusOptions gen;
     gen.docs_per_class =
@@ -160,6 +172,7 @@ Result<data::MultiTypeRelationalData> MakeCellData(
     gen.core_terms_per_topic = 6;
     gen.doc_length_mean = 60.0;
     gen.corrupted_doc_fraction = corruption;
+    gen.corruption_mode = corruption_mode;
     gen.relation_dropout = sparsity;
     gen.seed = seed;
     return data::GenerateSyntheticCorpus(gen);
@@ -173,6 +186,7 @@ Result<data::MultiTypeRelationalData> MakeCellData(
   gen.n_classes = opts.n_classes;
   gen.dropout = sparsity;
   gen.corrupted_fraction = corruption;
+  gen.corruption_mode = corruption_mode;
   gen.seed = seed;
   return data::GenerateBlockWorld(gen);
 }
@@ -290,6 +304,8 @@ Status RunRhchmeReplicate(std::vector<MethodSlot*>& slots,
       RHCHME_RETURN_IF_ERROR(
           ScoreInto(truth, fit.value().hocc.labels[0],
                     fit.value().hocc.seconds + ensemble_seconds, &s->sum));
+      s->sum.recovery +=
+          static_cast<double>(fit.value().diagnostics.RecoveryEvents());
     }
   }
   return Status::OK();
@@ -309,56 +325,69 @@ Result<ScenarioReport> RunScenarioGrid(const ScenarioGridOptions& opts) {
   report.grid = opts;
 
   for (ImbalanceKind imbalance : opts.imbalances) {
-    for (double corruption : opts.corruption_fractions) {
-      for (double sparsity : opts.sparsity_levels) {
-        // One slot per (method, variant); RHCHME expands to its variants.
-        std::vector<MethodSlot> slots;
-        for (const std::string& m : methods) {
-          if (m == "RHCHME") {
-            for (const RhchmeVariant& v : variants) {
-              slots.push_back({m, v.Name(), v, {}});
+    for (data::RowCorruptionMode mode : opts.corruption_modes) {
+      const bool nonfinite = mode == data::RowCorruptionMode::kNonFinite;
+      for (double corruption : opts.corruption_fractions) {
+        // A kNonFinite cell at corruption 0 plants nothing — it would
+        // duplicate the spike cell bit-for-bit, so it is skipped.
+        if (nonfinite && corruption == 0.0) continue;
+        for (double sparsity : opts.sparsity_levels) {
+          // One slot per (method, variant); RHCHME expands to its
+          // variants. Baselines have no numerical guards — on NaN/Inf
+          // input they only crash or emit NaN metrics — so kNonFinite
+          // cells run the guarded RHCHME variants alone.
+          std::vector<MethodSlot> slots;
+          for (const std::string& m : methods) {
+            if (m == "RHCHME") {
+              for (const RhchmeVariant& v : variants) {
+                slots.push_back({m, v.Name(), v, {}});
+              }
+            } else if (!nonfinite) {
+              slots.push_back({m, "", {}, {}});
             }
-          } else {
-            slots.push_back({m, "", {}, {}});
           }
-        }
+          if (slots.empty()) continue;
 
-        for (uint64_t seed : opts.seeds) {
-          Result<data::MultiTypeRelationalData> d =
-              MakeCellData(opts, imbalance, corruption, sparsity, seed);
-          if (!d.ok()) return d.status();
+          for (uint64_t seed : opts.seeds) {
+            Result<data::MultiTypeRelationalData> d =
+                MakeCellData(opts, imbalance, corruption, mode, sparsity,
+                             seed);
+            if (!d.ok()) return d.status();
 
-          std::vector<MethodSlot*> rhchme_slots;
-          for (MethodSlot& s : slots) {
-            if (s.method == "RHCHME") rhchme_slots.push_back(&s);
+            std::vector<MethodSlot*> rhchme_slots;
+            for (MethodSlot& s : slots) {
+              if (s.method == "RHCHME") rhchme_slots.push_back(&s);
+            }
+            if (!rhchme_slots.empty()) {
+              RHCHME_RETURN_IF_ERROR(
+                  RunRhchmeReplicate(rhchme_slots, d.value(), opts, seed));
+            }
+            for (MethodSlot& s : slots) {
+              if (s.method == "RHCHME") continue;
+              RHCHME_RETURN_IF_ERROR(RunBaselineReplicate(
+                  s.method, d.value(), opts, seed, &s.sum));
+            }
           }
-          if (!rhchme_slots.empty()) {
-            RHCHME_RETURN_IF_ERROR(
-                RunRhchmeReplicate(rhchme_slots, d.value(), opts, seed));
-          }
-          for (MethodSlot& s : slots) {
-            if (s.method == "RHCHME") continue;
-            RHCHME_RETURN_IF_ERROR(
-                RunBaselineReplicate(s.method, d.value(), opts, seed, &s.sum));
-          }
-        }
 
-        for (const MethodSlot& s : slots) {
-          ScenarioCell cell;
-          cell.workload = opts.workload;
-          cell.imbalance = imbalance;
-          cell.corruption = corruption;
-          cell.sparsity = sparsity;
-          cell.method = s.method;
-          cell.variant = s.variant;
-          const double n = static_cast<double>(s.sum.n);
-          cell.nmi = s.sum.nmi / n;
-          cell.ari = s.sum.ari / n;
-          cell.purity = s.sum.purity / n;
-          cell.fscore = s.sum.fscore / n;
-          cell.seconds = s.sum.seconds / n;
-          cell.replicates = s.sum.n;
-          report.cells.push_back(cell);
+          for (const MethodSlot& s : slots) {
+            ScenarioCell cell;
+            cell.workload = opts.workload;
+            cell.imbalance = imbalance;
+            cell.corruption = corruption;
+            cell.corruption_mode = mode;
+            cell.sparsity = sparsity;
+            cell.method = s.method;
+            cell.variant = s.variant;
+            const double n = static_cast<double>(s.sum.n);
+            cell.nmi = s.sum.nmi / n;
+            cell.ari = s.sum.ari / n;
+            cell.purity = s.sum.purity / n;
+            cell.fscore = s.sum.fscore / n;
+            cell.seconds = s.sum.seconds / n;
+            cell.recovery_events = s.sum.recovery / n;
+            cell.replicates = s.sum.n;
+            report.cells.push_back(cell);
+          }
         }
       }
     }
@@ -390,6 +419,12 @@ Status WriteScenarioReportJson(const ScenarioReport& report,
     std::fprintf(f, "],\n");
   };
   write_doubles("corruption_fractions", g.corruption_fractions);
+  std::fprintf(f, "    \"corruption_modes\": [");
+  for (std::size_t i = 0; i < g.corruption_modes.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                 CorruptionModeName(g.corruption_modes[i]));
+  }
+  std::fprintf(f, "],\n");
   write_doubles("sparsity_levels", g.sparsity_levels);
   std::fprintf(f, "    \"imbalances\": [");
   for (std::size_t i = 0; i < g.imbalances.size(); ++i) {
@@ -409,13 +444,15 @@ Status WriteScenarioReportJson(const ScenarioReport& report,
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"imbalance\": \"%s\", "
-        "\"corruption\": %g, \"sparsity\": %g, \"method\": \"%s\", "
+        "\"corruption\": %g, \"corruption_mode\": \"%s\", "
+        "\"sparsity\": %g, \"method\": \"%s\", "
         "\"variant\": \"%s\", \"nmi\": %.17g, \"ari\": %.17g, "
         "\"purity\": %.17g, \"fscore\": %.17g, \"seconds\": %.6g, "
-        "\"replicates\": %d}%s\n",
+        "\"recovery_events\": %g, \"replicates\": %d}%s\n",
         ScenarioWorkloadName(c.workload), ImbalanceKindName(c.imbalance),
-        c.corruption, c.sparsity, c.method.c_str(), c.variant.c_str(), c.nmi,
-        c.ari, c.purity, c.fscore, c.seconds, c.replicates,
+        c.corruption, CorruptionModeName(c.corruption_mode), c.sparsity,
+        c.method.c_str(), c.variant.c_str(), c.nmi, c.ari, c.purity,
+        c.fscore, c.seconds, c.recovery_events, c.replicates,
         i + 1 < report.cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

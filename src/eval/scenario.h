@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "data/corruption.h"
 #include "util/status.h"
 
 namespace rhchme {
@@ -54,6 +55,9 @@ enum class ImbalanceKind {
 };
 
 const char* ImbalanceKindName(ImbalanceKind k);
+
+/// JSON tag of a corruption payload: "spike" or "nonfinite".
+const char* CorruptionModeName(data::RowCorruptionMode m);
 
 /// One RHCHME configuration under the grid: solver core × graph backend.
 struct RhchmeVariant {
@@ -78,6 +82,12 @@ struct ScenarioGridOptions {
   // ---- Grid axes ----------------------------------------------------------
   /// Fraction of type-0 objects whose relation rows are corrupted.
   std::vector<double> corruption_fractions = {0.0, 0.15, 0.3};
+  /// Corrupted-entry payloads. kNonFinite cells plant NaN/Inf instead of
+  /// spikes and exercise the solver's numerical guards end-to-end; they
+  /// skip corruption == 0 (identical to the spike cell) and skip the
+  /// baselines (which have no guards and would just crash or emit NaN).
+  std::vector<data::RowCorruptionMode> corruption_modes = {
+      data::RowCorruptionMode::kSpike, data::RowCorruptionMode::kNonFinite};
   /// Entry dropout of the relation blocks (missing observations).
   std::vector<double> sparsity_levels = {0.0, 0.3, 0.6};
   std::vector<ImbalanceKind> imbalances = {ImbalanceKind::kBalanced,
@@ -116,6 +126,7 @@ struct ScenarioCell {
   ScenarioWorkload workload = ScenarioWorkload::kCorpus;
   ImbalanceKind imbalance = ImbalanceKind::kBalanced;
   double corruption = 0.0;
+  data::RowCorruptionMode corruption_mode = data::RowCorruptionMode::kSpike;
   double sparsity = 0.0;
   std::string method;   ///< "RHCHME", "DR-T", "SRC", "SNMTF", "RMC".
   std::string variant;  ///< RHCHME core+backend; empty for baselines.
@@ -124,6 +135,10 @@ struct ScenarioCell {
   double purity = 0.0;
   double fscore = 0.0;
   double seconds = 0.0;  ///< Mean fit wall clock — informational only.
+  /// Mean FitDiagnostics::RecoveryEvents() per replicate (RHCHME slots
+  /// only; 0 for baselines). Healthy spike cells stay at 0; kNonFinite
+  /// cells must be > 0 — the guards, not luck, absorb the damage.
+  double recovery_events = 0.0;
   int replicates = 0;
 };
 
@@ -132,8 +147,8 @@ struct ScenarioReport {
   std::vector<ScenarioCell> cells;
 };
 
-/// Runs the full grid. Cells are ordered (imbalance, corruption,
-/// sparsity, method) — deterministic for a fixed option set.
+/// Runs the full grid. Cells are ordered (imbalance, corruption mode,
+/// corruption, sparsity, method) — deterministic for a fixed option set.
 Result<ScenarioReport> RunScenarioGrid(const ScenarioGridOptions& opts);
 
 /// Writes the machine-readable QUALITY_scenarios.json consumed by

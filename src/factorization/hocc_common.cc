@@ -1,11 +1,14 @@
 #include "factorization/hocc_common.h"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "cluster/assignments.h"
 #include "cluster/kmeans.h"
 #include "la/gemm.h"
 #include "la/solve.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 
 namespace rhchme {
@@ -41,8 +44,14 @@ Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
             for (std::size_t i = r0; i < r1; ++i) {
               double* r = unit.row_ptr(i);
               double norm = 0.0;
-              for (std::size_t j = 0; j < unit.cols(); ++j) norm += r[j] * r[j];
-              if (norm > 0.0) {
+              for (std::size_t j = 0; j < unit.cols(); ++j) {
+                // NaN/Inf features (kNonFinite corruption) read as missing:
+                // the row degrades toward zero instead of poisoning every
+                // centroid distance.
+                if (!std::isfinite(r[j])) r[j] = 0.0;
+                norm += r[j] * r[j];
+              }
+              if (norm > 0.0 && std::isfinite(norm)) {
                 const double inv = 1.0 / std::sqrt(norm);
                 for (std::size_t j = 0; j < unit.cols(); ++j) r[j] *= inv;
               }
@@ -60,33 +69,76 @@ Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
     }
     g.SetBlock(blocks.type_offset[k], blocks.cluster_offset[k], block);
   }
+  if (util::FaultShouldFail(util::fault_site::kInitPoison) && !g.empty()) {
+    g(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
   return g;
 }
 
 Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
-                                 double ridge) {
+                                 double ridge, SolveStats* stats) {
   if (g.rows() != m.rows() || m.rows() != m.cols()) {
     return Status::InvalidArgument("SolveCentralS: shape mismatch");
   }
   la::Matrix gtg = la::Gram(g);
   la::Matrix gtmg = la::MultiplyTN(g, la::Multiply(m, g));
-  return SolveCentralSFromProducts(gtg, gtmg, ridge);
+  return SolveCentralSFromProducts(gtg, gtmg, ridge, stats);
 }
 
 Result<la::Matrix> SolveCentralSFromProducts(const la::Matrix& gtg,
                                              const la::Matrix& gtmg,
-                                             double ridge) {
+                                             double ridge, SolveStats* stats) {
   if (gtg.rows() != gtg.cols() || !gtg.SameShape(gtmg)) {
     return Status::InvalidArgument("SolveCentralSFromProducts: shape mismatch");
   }
-  // S = (GᵀG + rI)⁻¹ Gᵀ M G (GᵀG + rI)⁻¹, evaluated as two solves.
-  Result<la::Matrix> left = la::SolveRidged(gtg, gtmg, ridge);
-  if (!left.ok()) return left.status();
-  // Right inverse: solve (GᵀG) Xᵀ = leftᵀ, i.e. X = left (GᵀG)⁻¹.
-  Result<la::Matrix> right =
-      la::SolveRidged(gtg, left.value().Transposed(), ridge);
-  if (!right.ok()) return right.status();
-  return right.value().Transposed();
+  // Ridge ladder for the retry guard. Boosts are scaled to the mean
+  // |diagonal| of GᵀG so "large" is relative to this problem's Gram
+  // magnitude, not an absolute unit. Attempt 0 is byte-for-byte the
+  // unguarded solve, preserving healthy trajectories exactly.
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < gtg.rows(); ++i) {
+    diag_mean += std::fabs(gtg(i, i));
+  }
+  if (gtg.rows() > 0) diag_mean /= static_cast<double>(gtg.rows());
+  const double scale =
+      diag_mean > 0.0 && std::isfinite(diag_mean) ? diag_mean : 1.0;
+  const double ladder[3] = {ridge, std::max(ridge * 1e3, scale * 1e-8),
+                            std::max(ridge * 1e6, scale * 1e-4)};
+  Status last = Status::NumericalError("central solve: no attempt ran");
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0 && stats != nullptr) ++stats->ridge_retries;
+    if (attempt == 0 &&
+        util::FaultShouldFail(util::fault_site::kCentralSolveFail)) {
+      last = Status::NumericalError("injected central-solve failure");
+      continue;
+    }
+    // S = (GᵀG + rI)⁻¹ Gᵀ M G (GᵀG + rI)⁻¹, evaluated as two solves.
+    Result<la::Matrix> left = la::SolveRidged(gtg, gtmg, ladder[attempt]);
+    if (!left.ok()) {
+      last = left.status();
+      continue;
+    }
+    // Right inverse: solve (GᵀG) Xᵀ = leftᵀ, i.e. X = left (GᵀG)⁻¹.
+    Result<la::Matrix> right =
+        la::SolveRidged(gtg, left.value().Transposed(), ladder[attempt]);
+    if (!right.ok()) {
+      last = right.status();
+      continue;
+    }
+    la::Matrix s = std::move(right).value().Transposed();
+    if (attempt == 0 && !s.empty() &&
+        util::FaultShouldFail(util::fault_site::kCentralSolvePoison)) {
+      s(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (!s.AllFinite()) {
+      last = Status::NumericalError(
+          "SolveCentralSFromProducts: non-finite S at ridge " +
+          std::to_string(ladder[attempt]));
+      continue;
+    }
+    return s;
+  }
+  return last;
 }
 
 namespace {
@@ -150,19 +202,24 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
   la::Matrix mg = la::Multiply(m, *g);                  // n x c
   la::Matrix mtg;                                       // n x c
   la::MultiplyTNStreamInto(m, *g, &mtg);
-  MultiplicativeGUpdateFromProducts(mg, mtg, s, la::Gram(*g), lambda,
-                                    laplacian_pos, laplacian_neg, eps, g);
+  const Status st = MultiplicativeGUpdateFromProducts(
+      mg, mtg, s, la::Gram(*g), lambda, laplacian_pos, laplacian_neg, eps, g);
+  // The products were formed from *g two lines up, so a shape mismatch
+  // here is programmer error, not a recoverable pipeline state.
+  RHCHME_CHECK(st.ok(), st.ToString().c_str());
 }
 
-void MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
-                                       const la::Matrix& mtg,
-                                       const la::Matrix& s,
-                                       const la::Matrix& gtg, double lambda,
-                                       const la::SparseMatrix* laplacian_pos,
-                                       const la::SparseMatrix* laplacian_neg,
-                                       double eps, la::Matrix* g) {
-  RHCHME_CHECK(mg.SameShape(*g) && mtg.SameShape(*g),
-               "MultiplicativeGUpdateFromProducts: shape mismatch");
+Status MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
+                                         const la::Matrix& mtg,
+                                         const la::Matrix& s,
+                                         const la::Matrix& gtg, double lambda,
+                                         const la::SparseMatrix* laplacian_pos,
+                                         const la::SparseMatrix* laplacian_neg,
+                                         double eps, la::Matrix* g) {
+  if (!mg.SameShape(*g) || !mtg.SameShape(*g)) {
+    return Status::InvalidArgument(
+        "MultiplicativeGUpdateFromProducts: shape mismatch");
+  }
   la::Matrix num, den;
   GUpdateDataTermsFromProducts(mg, mtg, s, gtg, *g, &num, &den);
   if (lambda != 0.0 && laplacian_pos != nullptr && laplacian_neg != nullptr) {
@@ -175,6 +232,12 @@ void MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
     den.Add(lg);
   }
   RatioUpdate(num, den, eps, g);
+  if (util::FaultShouldFail(util::fault_site::kGUpdatePoison) && !g->empty()) {
+    // Simulates a kernel emitting NaN (e.g. an overflowed 0·inf product);
+    // the solver's post-update tripwire must catch and sanitize it.
+    (*g)(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  return Status::OK();
 }
 
 void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,

@@ -51,19 +51,34 @@ Result<la::Matrix> InitMembership(const data::MultiTypeRelationalData& data,
                                   const BlockStructure& blocks,
                                   MembershipInit init, Rng* rng);
 
+/// Counters surfaced by the central-solve guard (folded into the solver's
+/// FitDiagnostics). Optional everywhere — passing nullptr skips counting.
+struct SolveStats {
+  int ridge_retries = 0;  ///< Boosted-ridge attempts after a failed solve.
+};
+
 /// Closed-form S given G (paper Eq. 18): S = P·Gᵀ·M·G·P with
 /// P = (GᵀG + ridge·I)⁻¹. `m` is R (or R - E_R for the robust variant).
 Result<la::Matrix> SolveCentralS(const la::Matrix& g, const la::Matrix& m,
-                                 double ridge = 1e-9);
+                                 double ridge = 1e-9,
+                                 SolveStats* stats = nullptr);
 
 /// Product-form Eq. 18: the same closed form from the precomputed c x c
 /// factors `gtg` = GᵀG and `gtmg` = Gᵀ·M·G. This is the seam the
 /// implicit-M solver cores plug into — the sparse-R core evaluates
 /// Gᵀ·M·G from low-rank identities without ever forming M, then hands
 /// the c x c pieces here. SolveCentralS is a thin wrapper around it.
+///
+/// Numerical guard: when the base solve fails or produces a non-finite S
+/// (singular GᵀG, injected fault), the solve is retried up the ridge
+/// ladder {ridge, ~1e-8·d̄, ~1e-4·d̄} with d̄ the mean |diagonal| of GᵀG,
+/// counting each retry in `stats`. Only after the whole ladder fails does
+/// the last error surface. The first attempt is byte-for-byte the
+/// unguarded computation, so healthy fits keep their exact trajectory.
 Result<la::Matrix> SolveCentralSFromProducts(const la::Matrix& gtg,
                                              const la::Matrix& gtmg,
-                                             double ridge = 1e-9);
+                                             double ridge = 1e-9,
+                                             SolveStats* stats = nullptr);
 
 /// One multiplicative update of G (paper Eq. 21) for the objective
 ///   ‖M − G·S·Gᵀ‖²_F + lambda·tr(Gᵀ·L·G):
@@ -97,14 +112,16 @@ void MultiplicativeGUpdate(const la::Matrix& m, const la::Matrix& s,
 /// M = R − diag(s)·(R − H·Gᵀ) and never materialises a dense M (and
 /// already holds GᵀG from the S solve). `g` must be the same membership
 /// every product was formed against. Laplacian handling matches the
-/// sparse overload above.
-void MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
-                                       const la::Matrix& mtg,
-                                       const la::Matrix& s,
-                                       const la::Matrix& gtg, double lambda,
-                                       const la::SparseMatrix* laplacian_pos,
-                                       const la::SparseMatrix* laplacian_neg,
-                                       double eps, la::Matrix* g);
+/// sparse overload above. Returns InvalidArgument on shape mismatch
+/// instead of aborting — this is a fit-pipeline seam, and bad shapes here
+/// can come from corrupted snapshots, not only programmer error.
+Status MultiplicativeGUpdateFromProducts(const la::Matrix& mg,
+                                         const la::Matrix& mtg,
+                                         const la::Matrix& s,
+                                         const la::Matrix& gtg, double lambda,
+                                         const la::SparseMatrix* laplacian_pos,
+                                         const la::SparseMatrix* laplacian_neg,
+                                         double eps, la::Matrix* g);
 
 /// No-regulariser convenience (lambda = 0): data terms only. Avoids the
 /// nullptr-overload ambiguity at call sites without a Laplacian.

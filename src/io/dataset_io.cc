@@ -56,27 +56,53 @@ Result<data::MultiTypeRelationalData> LoadDataset(const std::string& dir) {
   std::ifstream manifest(fs::path(dir) / "manifest.txt");
   if (!manifest) return Status::NotFound("no manifest in: " + dir);
 
+  // Manifest values are attacker-controlled on-disk input: counts beyond
+  // any plausible dataset would drive huge allocations downstream, and a
+  // garbage file must come back as a clean Status, never an abort.
+  constexpr std::size_t kMaxManifestTypes = 256;
+  constexpr std::size_t kMaxObjectsPerType = std::size_t{1} << 32;
+
   data::MultiTypeRelationalData data;
   std::string line;
   std::size_t k = 0;
   while (std::getline(manifest, line)) {
     if (line.empty()) continue;
+    if (k >= kMaxManifestTypes) {
+      return Status::InvalidArgument("manifest lists more than " +
+                                     std::to_string(kMaxManifestTypes) +
+                                     " types: " + dir)
+          .WithContext(__FILE__, __LINE__);
+    }
     std::istringstream ss(line);
     data::ObjectType type;
     if (!(ss >> type.name >> type.count >> type.clusters)) {
-      return Status::InvalidArgument("malformed manifest line: " + line);
+      return Status::InvalidArgument("malformed manifest line: " + line)
+          .WithContext(__FILE__, __LINE__);
+    }
+    if (type.count == 0 || type.count > kMaxObjectsPerType ||
+        type.clusters == 0 || type.clusters > type.count) {
+      return Status::InvalidArgument(
+                 "implausible manifest counts (count=" +
+                 std::to_string(type.count) +
+                 ", clusters=" + std::to_string(type.clusters) +
+                 ") in line: " + line)
+          .WithContext(__FILE__, __LINE__);
     }
     const std::string stem =
         (fs::path(dir) / ("type" + std::to_string(k))).string();
     if (fs::exists(stem + "_features.bin")) {
       Result<la::Matrix> features = ReadMatrixBinary(stem + "_features.bin");
-      if (!features.ok()) return features.status();
+      if (!features.ok()) {
+        return features.status().WithContext(__FILE__, __LINE__);
+      }
       type.features = std::move(features).value();
     }
     if (fs::exists(stem + "_labels.txt")) {
       Result<std::vector<std::size_t>> labels =
           ReadLabels(stem + "_labels.txt");
-      if (!labels.ok()) return labels.status();
+      if (!labels.ok()) {
+        return labels.status().WithContext(__FILE__, __LINE__);
+      }
       type.labels = std::move(labels).value();
     }
     data.AddType(std::move(type));
@@ -90,12 +116,12 @@ Result<data::MultiTypeRelationalData> LoadDataset(const std::string& dir) {
               .string();
       if (!fs::exists(path)) continue;
       Result<la::Matrix> block = ReadMatrixBinary(path);
-      if (!block.ok()) return block.status();
-      RHCHME_RETURN_IF_ERROR(
+      if (!block.ok()) return block.status().WithContext(__FILE__, __LINE__);
+      RHCHME_RETURN_IF_ERROR_CTX(
           data.SetRelation(a, b, std::move(block).value()));
     }
   }
-  RHCHME_RETURN_IF_ERROR(data.Validate());
+  RHCHME_RETURN_IF_ERROR_CTX(data.Validate());
   return data;
 }
 

@@ -5,10 +5,22 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault.h"
+
 namespace rhchme {
 namespace io {
 namespace {
 constexpr char kMagic[4] = {'R', 'H', 'M', '1'};
+
+// Shared shape guard: each factor is bounded before the product is formed —
+// rows·cols would wrap for adversarial headers (e.g. rows = cols = 2³³),
+// silently bypassing the guard and requesting a huge allocation.
+constexpr uint64_t kMaxElements = 1ull << 32;
+
+bool PlausibleShape(uint64_t rows, uint64_t cols) {
+  return rows <= kMaxElements && cols <= kMaxElements &&
+         (rows == 0 || cols <= kMaxElements / rows);
+}
 }  // namespace
 
 Status WriteMatrixCsv(const la::Matrix& m, const std::string& path) {
@@ -68,6 +80,9 @@ Result<la::Matrix> ReadMatrixCsv(const std::string& path) {
 Status WriteMatrixBinary(const la::Matrix& m, const std::string& path) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  if (util::FaultShouldFail(util::fault_site::kMatrixWriteFail)) {
+    return Status::Internal("injected write failure for: " + path);
+  }
   const uint64_t rows = m.rows(), cols = m.cols();
   f.write(kMagic, sizeof(kMagic));
   f.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
@@ -84,6 +99,9 @@ Status WriteMatrixBinary(const la::Matrix& m, const std::string& path) {
 Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::NotFound("cannot open: " + path);
+  if (util::FaultShouldFail(util::fault_site::kMatrixReadFail)) {
+    return Status::Internal("injected read failure for: " + path);
+  }
   char magic[4];
   f.read(magic, sizeof(magic));
   if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -95,12 +113,7 @@ Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
   if (!f) {
     return Status::InvalidArgument("truncated header in: " + path);
   }
-  // Each factor is bounded before the product is formed: rows·cols would
-  // wrap for adversarial headers (e.g. rows = cols = 2³³), silently
-  // bypassing the guard and requesting a huge allocation.
-  constexpr uint64_t kMaxElements = 1ull << 32;
-  if (rows > kMaxElements || cols > kMaxElements ||
-      (rows != 0 && cols > kMaxElements / rows)) {
+  if (!PlausibleShape(rows, cols)) {
     return Status::InvalidArgument("implausible shape in: " + path);
   }
   la::Matrix m(rows, cols);
@@ -108,6 +121,41 @@ Result<la::Matrix> ReadMatrixBinary(const std::string& path) {
     f.read(reinterpret_cast<char*>(m.row_ptr(i)),
            static_cast<std::streamsize>(m.cols() * sizeof(double)));
     if (!f) return Status::InvalidArgument("truncated matrix in: " + path);
+  }
+  return m;
+}
+
+void AppendMatrixPayload(const la::Matrix& m, std::string* out) {
+  const uint64_t rows = m.rows(), cols = m.cols();
+  out->append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  // Row by row: in-memory rows are stride-padded, the payload is dense.
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    out->append(reinterpret_cast<const char*>(m.row_ptr(i)),
+                m.cols() * sizeof(double));
+  }
+}
+
+Result<la::Matrix> ParseMatrixPayload(const char* buf, std::size_t size,
+                                      std::size_t* pos) {
+  uint64_t rows = 0, cols = 0;
+  if (*pos > size || size - *pos < 2 * sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated matrix payload header");
+  }
+  std::memcpy(&rows, buf + *pos, sizeof(rows));
+  std::memcpy(&cols, buf + *pos + sizeof(rows), sizeof(cols));
+  *pos += 2 * sizeof(uint64_t);
+  if (!PlausibleShape(rows, cols)) {
+    return Status::InvalidArgument("implausible shape in matrix payload");
+  }
+  const uint64_t bytes = rows * cols * sizeof(double);
+  if (size - *pos < bytes) {
+    return Status::InvalidArgument("truncated matrix payload body");
+  }
+  la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::memcpy(m.row_ptr(i), buf + *pos, m.cols() * sizeof(double));
+    *pos += m.cols() * sizeof(double);
   }
   return m;
 }

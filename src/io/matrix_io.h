@@ -28,6 +28,19 @@ Result<la::Matrix> ReadMatrixCsv(const std::string& path);
 Status WriteMatrixBinary(const la::Matrix& m, const std::string& path);
 Result<la::Matrix> ReadMatrixBinary(const std::string& path);
 
+/// Appends the binary payload of `m` — uint64 rows, uint64 cols, densely
+/// packed row-major doubles; the WriteMatrixBinary layout without the
+/// magic — to `out`. Building block for container formats that embed
+/// matrices (the solver's checkpoint snapshots).
+void AppendMatrixPayload(const la::Matrix& m, std::string* out);
+
+/// Parses a matrix payload written by AppendMatrixPayload from
+/// buf[*pos, size); advances *pos past it on success. Truncation and
+/// implausible shapes are a clean InvalidArgument (same overflow guard as
+/// ReadMatrixBinary), never UB.
+Result<la::Matrix> ParseMatrixPayload(const char* buf, std::size_t size,
+                                      std::size_t* pos);
+
 /// One label per line.
 Status WriteLabels(const std::vector<std::size_t>& labels,
                    const std::string& path);

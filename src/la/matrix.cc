@@ -300,6 +300,20 @@ bool Matrix::AllFinite() const {
   return true;
 }
 
+std::size_t Matrix::ReplaceNonFinite(double value) {
+  std::size_t replaced = 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_ptr(i);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (!std::isfinite(r[j])) {
+        r[j] = value;
+        ++replaced;
+      }
+    }
+  }
+  return replaced;
+}
+
 bool Matrix::IsNonNegative(double tol) const {
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* r = row_ptr(i);

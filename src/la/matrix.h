@@ -187,6 +187,11 @@ class Matrix {
 
   /// True if all entries are finite (no NaN/Inf).
   bool AllFinite() const;
+  /// Replaces every NaN/Inf entry with `value`; returns how many were
+  /// replaced. The graceful-degradation seam for corrupted inputs: a
+  /// poisoned entry becomes missing data instead of propagating through
+  /// every downstream kernel.
+  std::size_t ReplaceNonFinite(double value);
   /// True if all entries are >= -tol.
   bool IsNonNegative(double tol = 0.0) const;
   /// Max |this - other| entry; requires same shape.

@@ -180,6 +180,18 @@ void SparseMatrix::Scale(double s) {
   InvalidateCscMirror();
 }
 
+std::size_t SparseMatrix::ReplaceNonFinite(double value) {
+  std::size_t replaced = 0;
+  for (double& v : values_) {
+    if (!std::isfinite(v)) {
+      v = value;
+      ++replaced;
+    }
+  }
+  if (replaced > 0) InvalidateCscMirror();
+  return replaced;
+}
+
 std::size_t SparseMatrix::PruneSmall(double tol) {
   std::vector<std::size_t> new_row_ptr(rows_ + 1, 0);
   std::size_t kept = 0;

@@ -111,6 +111,10 @@ class SparseMatrix {
   void Scale(double s);
   /// Removes entries with |v| <= tol; returns how many were dropped.
   std::size_t PruneSmall(double tol);
+  /// Replaces NaN/Inf stored values with `value`; returns how many were
+  /// replaced (structure unchanged; invalidates the mirror only when a
+  /// replacement happened).
+  std::size_t ReplaceNonFinite(double value);
 
   /// Value at (i, j) — binary search within the row; O(log nnz_row).
   double At(std::size_t i, std::size_t j) const;

@@ -1,0 +1,132 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rhchme {
+namespace util {
+namespace {
+
+struct SiteState {
+  long long hits = 0;
+  long long fire_on_hit = 0;  // 0 = countdown mode off.
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  // Seeded mode: one independent stream per site so the schedule of one
+  // seam does not depend on how often another seam is hit.
+  bool seeded = false;
+  uint64_t seed = 0;
+  double probability = 0.0;
+  std::map<std::string, Rng> streams;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // Leaked: alive for process exit.
+  return *r;
+}
+
+// Fast-path switch: 0 = disarmed. Probes are outside inner kernel loops,
+// so one relaxed load is the whole cost of an inactive registry.
+std::atomic<int> g_active{0};
+
+uint64_t Fnv1a(const char* s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<const char*> AllFaultSites() {
+  return {fault_site::kCentralSolveFail,     fault_site::kCentralSolvePoison,
+          fault_site::kGUpdatePoison,        fault_site::kResidualPoison,
+          fault_site::kObjectivePoison,      fault_site::kInitPoison,
+          fault_site::kAllocJointR,          fault_site::kAllocWorkspace,
+          fault_site::kMatrixWriteFail,      fault_site::kMatrixReadFail,
+          fault_site::kSnapshotWriteTruncate,
+          fault_site::kSnapshotRenameFail};
+}
+
+bool FaultShouldFail(const char* site) {
+  if (g_active.load(std::memory_order_relaxed) == 0) return false;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& st = r.sites[site];
+  ++st.hits;
+  if (st.fire_on_hit > 0 && !st.fired && st.hits == st.fire_on_hit) {
+    st.fired = true;
+    return true;
+  }
+  if (r.seeded) {
+    auto it = r.streams.find(site);
+    if (it == r.streams.end()) {
+      it = r.streams
+               .emplace(site, Rng(DeriveStreamSeed(r.seed, Fnv1a(site))))
+               .first;
+    }
+    if (it->second.Uniform() < r.probability) return true;
+  }
+  return false;
+}
+
+void FaultArmCountdown(const char* site, int fire_on_hit) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& st = r.sites[site];
+  st.hits = 0;
+  st.fired = false;
+  st.fire_on_hit = fire_on_hit;
+  g_active.store(1, std::memory_order_relaxed);
+}
+
+void FaultArmSeeded(uint64_t seed, double probability) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.seeded = true;
+  r.seed = seed;
+  r.probability = probability;
+  r.streams.clear();
+  g_active.store(1, std::memory_order_relaxed);
+}
+
+void FaultDisarm() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_active.store(0, std::memory_order_relaxed);
+  r.sites.clear();
+  r.seeded = false;
+  r.streams.clear();
+}
+
+long long FaultHitCount(const char* site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultEntropySoakSeed() {
+  // Soak-only entropy: a wall-clock nanosecond stamp folded through the
+  // SplitMix64 finaliser. Never consulted on a deterministic path — the
+  // caller must log the returned seed so any soak failure replays exactly
+  // via FaultArmSeeded(seed, p).
+  const auto tick = std::chrono::steady_clock::now();
+  // lint:determinism-ok(opt-in soak entropy, logged by callers and replayable via FaultArmSeeded; never reaches a deterministic path)
+  const uint64_t now = static_cast<uint64_t>(tick.time_since_epoch().count());
+  return DeriveStreamSeed(now, 0xfa17ULL);
+}
+
+}  // namespace util
+}  // namespace rhchme

@@ -1,0 +1,95 @@
+// Deterministic fault injection for robustness testing.
+//
+// A process-wide registry of named injection sites compiled into the
+// library unconditionally. Each site is a single ShouldFail(site) probe at
+// a seam where real systems fail: a kernel producing NaN, the central
+// solve going singular, an allocation throwing, an I/O write truncating.
+// When the registry is disarmed (the default, and the only state outside
+// tests) the probe is one relaxed atomic load — guards live outside the
+// inner microkernel loops and cost nothing measurable.
+//
+// Two arming modes, both exactly replayable:
+//
+//   ArmCountdown(site, n)  — the site's n-th hit fires (once); hits are
+//                            counted deterministically because all sites
+//                            sit on serial solver/I/O seams.
+//   ArmSeeded(seed, p)     — every site draws from its own Rng seeded with
+//                            DeriveStreamSeed(seed, Fnv1a(site)) and fires
+//                            with probability p per hit. The same seed
+//                            replays the same fault schedule.
+//
+// Sites are string literals (see fault_site below) so a test can enumerate
+// every seam the library registers without linking test-only code.
+
+#ifndef RHCHME_UTIL_FAULT_H_
+#define RHCHME_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rhchme {
+namespace util {
+
+/// Canonical injection-site names. Adding a seam means adding a constant
+/// here, probing it at the seam, and covering it in fault_injection_test.
+namespace fault_site {
+// Kernel / solve seams.
+inline constexpr const char* kCentralSolveFail = "solve.central_s.fail";
+inline constexpr const char* kCentralSolvePoison = "solve.central_s.poison";
+inline constexpr const char* kGUpdatePoison = "kernel.g_update.poison";
+inline constexpr const char* kResidualPoison = "solver.residual.poison";
+inline constexpr const char* kObjectivePoison = "solver.objective.poison";
+inline constexpr const char* kInitPoison = "solver.init.poison";
+// Allocation seams.
+inline constexpr const char* kAllocJointR = "alloc.joint_r";
+inline constexpr const char* kAllocWorkspace = "alloc.workspace";
+// I/O seams.
+inline constexpr const char* kMatrixWriteFail = "io.matrix.write.fail";
+inline constexpr const char* kMatrixReadFail = "io.matrix.read.fail";
+inline constexpr const char* kSnapshotWriteTruncate =
+    "io.snapshot.write.truncate";
+inline constexpr const char* kSnapshotRenameFail = "io.snapshot.rename.fail";
+}  // namespace fault_site
+
+/// All site names above, for tests that sweep every registered seam.
+std::vector<const char*> AllFaultSites();
+
+/// True when the registry says this hit of `site` must fail. The fast path
+/// (registry disarmed) is a single relaxed atomic load.
+bool FaultShouldFail(const char* site);
+
+/// Arms `site` to fire on exactly its `fire_on_hit`-th hit from now
+/// (1-based); earlier and later hits pass. Hit counting starts at this
+/// call. Other sites are unaffected.
+void FaultArmCountdown(const char* site, int fire_on_hit);
+
+/// Arms every site probabilistically: each hit of site s fires with
+/// probability `probability`, drawn from an Rng seeded with
+/// DeriveStreamSeed(seed, Fnv1a(s)). Fully replayable from `seed`.
+void FaultArmSeeded(uint64_t seed, double probability);
+
+/// Disarms everything and clears hit counters.
+void FaultDisarm();
+
+/// Hits recorded for `site` since it was last armed (0 when never armed).
+long long FaultHitCount(const char* site);
+
+/// Entropy seed for opt-in soak runs (never used on deterministic paths;
+/// callers log the value so any failure replays via FaultArmSeeded).
+uint64_t FaultEntropySoakSeed();
+
+/// RAII: disarms the registry on scope exit. Tests arm inside one of
+/// these so a failing assertion cannot leak an armed site into the next
+/// test case.
+class ScopedFaultDisarm {
+ public:
+  ScopedFaultDisarm() = default;
+  ~ScopedFaultDisarm() { FaultDisarm(); }
+  ScopedFaultDisarm(const ScopedFaultDisarm&) = delete;
+  ScopedFaultDisarm& operator=(const ScopedFaultDisarm&) = delete;
+};
+
+}  // namespace util
+}  // namespace rhchme
+
+#endif  // RHCHME_UTIL_FAULT_H_

@@ -130,6 +130,20 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
 
 Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng::State Rng::SaveState() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.have_cached_normal = have_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
   // Fold the stream id into the SplitMix64 walk position: stream k reads
   // the (k+1)-th output of the seed's expansion sequence, computed in

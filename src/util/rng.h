@@ -69,6 +69,21 @@ class Rng {
   /// Child generator with an independent stream, derived deterministically.
   Rng Split();
 
+  /// Complete generator state, for checkpoint/resume. A generator restored
+  /// from a saved state continues the exact stream the original would have
+  /// produced (including the Box–Muller cached half-normal).
+  struct State {
+    uint64_t s[4];
+    bool have_cached_normal;
+    double cached_normal;
+  };
+
+  /// Snapshot of the current stream position.
+  State SaveState() const;
+
+  /// Rewinds/forwards this generator to a saved stream position.
+  void RestoreState(const State& state);
+
  private:
   uint64_t state_[4];
   bool have_cached_normal_ = false;

@@ -15,6 +15,19 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+Status Status::WithContext(const char* file, int line) const {
+  if (ok()) return *this;
+  // Strip the directory: the basename names the seam without leaking
+  // build-machine paths into user-visible diagnostics.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  return Status(code_,
+                std::string(base) + ":" + std::to_string(line) + ": " +
+                    message_);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

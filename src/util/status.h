@@ -69,6 +69,10 @@ class Status {
   /// "OK" or "InvalidArgument: rows must match: 3 vs 4".
   std::string ToString() const;
 
+  /// Same code with "file:line: " prefixed to the message, so propagated
+  /// errors carry the seam they crossed. No-op on OK.
+  Status WithContext(const char* file, int line) const;
+
  private:
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}
@@ -145,6 +149,14 @@ class Result {
   do {                                            \
     ::rhchme::Status s_ = (expr);                 \
     if (!s_.ok()) return s_;                      \
+  } while (0)
+
+/// Propagates a non-OK Status annotated with this file:line, so a failure
+/// deep in a pipeline names every seam it crossed on the way out.
+#define RHCHME_RETURN_IF_ERROR_CTX(expr)                    \
+  do {                                                      \
+    ::rhchme::Status s_ = (expr);                           \
+    if (!s_.ok()) return s_.WithContext(__FILE__, __LINE__); \
   } while (0)
 
 #endif  // RHCHME_UTIL_STATUS_H_

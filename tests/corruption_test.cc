@@ -81,6 +81,73 @@ TEST(CorruptRows, RowIndicesAreSortedAndUnique) {
   EXPECT_EQ(std::adjacent_find(rows.begin(), rows.end()), rows.end());
 }
 
+TEST(CorruptRows, NonFiniteModePlantsNanAndInfInSelectedRowsOnly) {
+  la::Matrix m(20, 10, 1.0);
+  Rng rng(12);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 0.25;
+  opts.entry_fraction = 1.0;
+  opts.mode = RowCorruptionMode::kNonFinite;
+  std::vector<std::size_t> rows = CorruptRows(&m, opts, &rng);
+  EXPECT_EQ(rows.size(), 5u);
+  std::size_t nonfinite = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const bool corrupted =
+        std::find(rows.begin(), rows.end(), i) != rows.end();
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) {
+        ++nonfinite;
+        EXPECT_TRUE(corrupted) << "NaN/Inf leaked into clean row " << i;
+      } else if (!corrupted) {
+        EXPECT_EQ(m(i, j), 1.0);
+      }
+    }
+  }
+  // entry_fraction = 1 poisons every entry of every selected row.
+  EXPECT_EQ(nonfinite, 50u);
+}
+
+TEST(CorruptRows, NonFiniteModeUsesBothNanAndInf) {
+  la::Matrix m(40, 10, 1.0);
+  Rng rng(13);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 1.0;
+  opts.entry_fraction = 1.0;
+  opts.mode = RowCorruptionMode::kNonFinite;
+  CorruptRows(&m, opts, &rng);
+  std::size_t nans = 0, infs = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (std::isnan(m(i, j))) ++nans;
+      if (std::isinf(m(i, j))) ++infs;
+    }
+  }
+  EXPECT_GT(nans, 100u);
+  EXPECT_GT(infs, 100u);
+}
+
+TEST(CorruptRows, NonFiniteModeSelectsSameEntriesAsSpike) {
+  // The two payloads must consume the Rng identically, so the *set* of
+  // hit entries is mode-independent and seeded experiments stay
+  // comparable across modes.
+  la::Matrix spiked(20, 10, 1.0);
+  la::Matrix poisoned(20, 10, 1.0);
+  Rng rng_a(14), rng_b(14);
+  RowCorruptionOptions opts;
+  opts.row_fraction = 0.5;
+  opts.entry_fraction = 0.4;
+  std::vector<std::size_t> rows_a = CorruptRows(&spiked, opts, &rng_a);
+  opts.mode = RowCorruptionMode::kNonFinite;
+  std::vector<std::size_t> rows_b = CorruptRows(&poisoned, opts, &rng_b);
+  EXPECT_EQ(rows_a, rows_b);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(spiked(i, j) != 1.0, !std::isfinite(poisoned(i, j)))
+          << "entry (" << i << ", " << j << ") hit in one mode only";
+    }
+  }
+}
+
 TEST(GaussianNoise, ClampsNegativesWhenAsked) {
   la::Matrix m(30, 30, 0.01);
   Rng rng(6);

@@ -68,6 +68,35 @@ TEST(RhchmeOptions, Validation) {
   EXPECT_FALSE(o.Validate().ok());
 }
 
+TEST(Rhchme, SurvivesNonFiniteCorruptedInput) {
+  // End-to-end guard check: a block world whose corrupted rows carry
+  // NaN/Inf (not spikes) must still fit — input sanitization zeroes the
+  // poison, counts it, and every downstream invariant holds.
+  data::BlockWorldOptions gen;
+  gen.objects_per_type = {24, 18, 12};
+  gen.n_classes = 3;
+  gen.corrupted_fraction = 0.2;
+  gen.corruption_mode = data::RowCorruptionMode::kNonFinite;
+  gen.seed = 33;
+  data::MultiTypeRelationalData d = data::GenerateBlockWorld(gen).value();
+
+  for (core::SparseRMode mode :
+       {core::SparseRMode::kNever, core::SparseRMode::kAlways}) {
+    RhchmeOptions opts = FastOptions();
+    opts.sparse_r = mode;
+    Rhchme solver(opts);
+    Result<RhchmeResult> r = solver.Fit(d);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.value().diagnostics.nonfinite_input_entries, 0u);
+    EXPECT_TRUE(r.value().hocc.g.AllFinite());
+    EXPECT_TRUE(r.value().hocc.g.IsNonNegative());
+    EXPECT_FALSE(r.value().hocc.objective_trace.empty());
+    for (double obj : r.value().hocc.objective_trace) {
+      EXPECT_TRUE(std::isfinite(obj));
+    }
+  }
+}
+
 TEST(Rhchme, ProducesValidResult) {
   data::MultiTypeRelationalData d = SmallData();
   Rhchme solver(FastOptions());

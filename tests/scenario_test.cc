@@ -23,6 +23,9 @@ namespace {
 ScenarioGridOptions TinyGrid() {
   ScenarioGridOptions opts;
   opts.corruption_fractions = {0.2};
+  // Spike-only keeps the cell-count arithmetic below mode-free; the
+  // kNonFinite axis has its own dedicated test.
+  opts.corruption_modes = {data::RowCorruptionMode::kSpike};
   opts.sparsity_levels = {0.3};
   opts.imbalances = {ImbalanceKind::kSkewed};
   opts.seeds = {1};
@@ -65,6 +68,40 @@ TEST(ScenarioGridOptions, ValidatesAxesAndMethods) {
   bad = TinyGrid();
   bad.docs_per_class = 4;  // Too small for the 4:2:1 skew.
   EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyGrid();
+  bad.corruption_modes.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RunScenarioGrid, NonFiniteModeRunsGuardedVariantsOnly) {
+  ScenarioGridOptions opts = TinyGrid();
+  opts.corruption_fractions = {0.0, 0.2};
+  opts.corruption_modes = {data::RowCorruptionMode::kSpike,
+                           data::RowCorruptionMode::kNonFinite};
+  opts.methods = {"RHCHME", "SNMTF"};
+  opts.rhchme_variants = {{"implicit", "exact"}};
+
+  Result<ScenarioReport> report = RunScenarioGrid(opts);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // Spike: 2 corruption x 2 slots. NonFinite: only corruption 0.2 (the
+  // corruption-0 cell would duplicate the spike one) and only the
+  // guarded RHCHME variant (baselines have no numerical guards).
+  const std::vector<ScenarioCell>& cells = report.value().cells;
+  ASSERT_EQ(cells.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cells[i].corruption_mode, data::RowCorruptionMode::kSpike);
+    EXPECT_EQ(cells[i].recovery_events, 0.0) << "spike cell " << i;
+  }
+  const ScenarioCell& poisoned = cells[4];
+  EXPECT_EQ(poisoned.corruption_mode, data::RowCorruptionMode::kNonFinite);
+  EXPECT_EQ(poisoned.corruption, 0.2);
+  EXPECT_EQ(poisoned.method, "RHCHME");
+  // The guards must have absorbed real damage: finite metrics, counted
+  // recoveries.
+  EXPECT_GT(poisoned.recovery_events, 0.0);
+  EXPECT_GE(poisoned.nmi, 0.0);
+  EXPECT_LE(poisoned.nmi, 1.0);
 }
 
 TEST(RunScenarioGrid, CoversEveryCellMethodAndVariant) {

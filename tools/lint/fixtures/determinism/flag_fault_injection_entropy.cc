@@ -1,0 +1,11 @@
+// Must-flag: the fault-registry soak seed derives from the steady clock;
+// without an annotation naming the replay story, a clock-derived seed is
+// exactly the nondeterminism the check exists to catch.
+#include <chrono>
+#include <cstdint>
+
+uint64_t SoakSeed() {
+  const auto tick = std::chrono::steady_clock::now();
+  const uint64_t now = static_cast<uint64_t>(tick.time_since_epoch().count());
+  return now * 0x9e3779b97f4a7c15ULL;
+}

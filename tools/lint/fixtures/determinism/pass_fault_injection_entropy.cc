@@ -1,0 +1,12 @@
+// Must-pass: the src/util/fault.cc soak-seed seam, annotated on the
+// *preceding* line (the annotation grammar covers both the same line and
+// the line above — long expressions cannot fit a trailing annotation).
+#include <chrono>
+#include <cstdint>
+
+uint64_t SoakSeed() {
+  const auto tick = std::chrono::steady_clock::now();
+  // lint:determinism-ok(opt-in soak entropy, logged and replayable via FaultArmSeeded)
+  const uint64_t now = static_cast<uint64_t>(tick.time_since_epoch().count());
+  return now * 0x9e3779b97f4a7c15ULL;
+}

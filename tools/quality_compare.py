@@ -41,16 +41,20 @@ METRICS = ("nmi", "ari", "purity", "fscore")
 
 
 def cell_key(cell):
-    """Identity of a grid cell: everything but the measured values."""
+    """Identity of a grid cell: everything but the measured values.
+
+    `corruption_mode` defaults to "spike" so baselines generated before
+    the kNonFinite axis existed still match their cells.
+    """
     return (cell.get("workload"), cell.get("imbalance"),
-            cell.get("corruption"), cell.get("sparsity"),
-            cell.get("method"), cell.get("variant"))
+            cell.get("corruption"), cell.get("corruption_mode", "spike"),
+            cell.get("sparsity"), cell.get("method"), cell.get("variant"))
 
 
 def format_key(key):
-    workload, imbalance, corruption, sparsity, method, variant = key
+    workload, imbalance, corruption, mode, sparsity, method, variant = key
     name = f"{method}+{variant}" if variant else method
-    return (f"{workload}/{imbalance}/corrupt={corruption:g}/"
+    return (f"{workload}/{imbalance}/corrupt={corruption:g}({mode})/"
             f"sparse={sparsity:g}/{name}")
 
 

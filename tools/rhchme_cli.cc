@@ -15,7 +15,9 @@
 //   rhchme_cli run RHCHME /tmp/d1 /tmp/d1_labels.csv
 //   rhchme_cli compare /tmp/d1
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -40,12 +42,29 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Strict decimal parse — "abc" or "12junk" must be a diagnostic, not a
+/// silent seed of 0.
+Result<uint64_t> ParseSeed(const char* arg) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("seed is not a decimal integer: '" +
+                                   std::string(arg) + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
 int Generate(int argc, char** argv) {
   if (argc < 4) return Usage();
   Result<data::SyntheticCorpusOptions> preset = data::PresetByName(argv[2]);
   if (!preset.ok()) return Fail(preset.status());
   data::SyntheticCorpusOptions opts = preset.value();
-  if (argc > 4) opts.seed = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 4) {
+    Result<uint64_t> seed = ParseSeed(argv[4]);
+    if (!seed.ok()) return Fail(seed.status());
+    opts.seed = seed.value();
+  }
   Result<data::MultiTypeRelationalData> corpus =
       data::GenerateSyntheticCorpus(opts);
   if (!corpus.ok()) return Fail(corpus.status());
@@ -81,6 +100,17 @@ int Run(int argc, char** argv) {
     core::Rhchme solver{core::RhchmeOptions{}};
     Result<core::RhchmeResult> fit = solver.Fit(data.value());
     if (!fit.ok()) return Fail(fit.status());
+    const core::FitDiagnostics& diag = fit.value().diagnostics;
+    if (diag.RecoveryEvents() > 0) {
+      std::printf(
+          "recovered from %llu numerical fault(s): %llu guard trip(s), "
+          "%llu backtrack(s), %llu ridge retry(ies), %llu degraded stop(s)\n",
+          static_cast<unsigned long long>(diag.RecoveryEvents()),
+          static_cast<unsigned long long>(diag.nan_guard_trips),
+          static_cast<unsigned long long>(diag.backtracks),
+          static_cast<unsigned long long>(diag.solve_ridge_retries),
+          static_cast<unsigned long long>(diag.degraded_stops));
+    }
     labels = fit.value().hocc.labels;
     seconds = fit.value().hocc.seconds;
   } else if (method == "SRC") {
