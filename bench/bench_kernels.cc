@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -91,7 +92,9 @@ void BM_Gram(benchmark::State& state) {
 BENCHMARK(BM_Gram)->UseRealTime()->Arg(256)->Arg(1024);
 
 void BM_Sandwich(benchmark::State& state) {
-  // tr(Gᵀ L G) — the ensemble-regulariser term of the objective.
+  // tr(Gᵀ L G) — the ensemble-regulariser term of the objective. A fully
+  // dense L: every kBlockK segment fails the zero probe, so this measures
+  // the branch-free axpy schedule.
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t c = 30;
   la::Matrix g = RandomMatrix(n, c, 13);
@@ -104,6 +107,32 @@ void BM_Sandwich(benchmark::State& state) {
                         2.0 * static_cast<double>(n) * c);
 }
 BENCHMARK(BM_Sandwich)->UseRealTime()->Arg(256)->Arg(1024);
+
+void BM_SandwichSparseRows(benchmark::State& state) {
+  // The same dense-storage kernel fed a pNN-sparse L (16 nnz/row, the
+  // ensemble Laplacian shape): every segment passes the zero probe and
+  // takes the zero-skip schedule. Paired with BM_Sandwich this gates the
+  // density probe in la::Sandwich from both sides.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = 30;
+  const std::size_t nnz_per_row = 16;
+  la::Matrix g = RandomMatrix(n, c, 13);
+  Rng rng(14);
+  la::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      l(i, rng.UniformInt(n)) = rng.Uniform(0.1, 1.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Sandwich(g, l));
+  }
+  // Useful flops: one axpy per stored nonzero plus the trace dots.
+  SetKernelCounters(state,
+                    2.0 * static_cast<double>(n) * nnz_per_row * c +
+                        2.0 * static_cast<double>(n) * c);
+}
+BENCHMARK(BM_SandwichSparseRows)->UseRealTime()->Arg(256)->Arg(1024);
 
 // ---- SIMD primitive microbenchmarks --------------------------------------
 // Scalar-vs-SIMD pairs for the la/simd.h kernels the GEMM / distance /
@@ -528,20 +557,37 @@ BENCHMARK(BM_EigenSym)->UseRealTime()->Arg(32)->Arg(64)->Arg(128)
 // working directory) so perf runs leave a machine-readable artefact. A
 // caller-supplied --benchmark_out takes precedence.
 //
-// The JSON context gains two custom keys: `rhchme_build_type` records
+// The JSON context gains three custom keys: `rhchme_build_type` records
 // whether *this binary* was optimised (NDEBUG) — the stock
 // `library_build_type` only reflects how the system's libbenchmark was
 // compiled (Debian ships it assertion-enabled, i.e. "debug", even for
-// Release user builds) — and `rhchme_simd` records the compiled kernel
-// ISA. tools/bench_compare.py keys off both.
+// Release user builds) — `rhchme_simd` records the runtime-dispatched
+// kernel table this run actually executed (after any --force_isa /
+// RHCHME_FORCE_ISA override), and `rhchme_simd_detected` what
+// auto-detection would have picked. tools/bench_compare.py keys the
+// comparison off rhchme_simd and rejects debug artefacts.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = std::string("--benchmark_out=") + kJsonOutPath;
-  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+    const std::string arg(argv[i]);
+    if (arg.rfind("--force_isa=", 0) == 0) {
+      const rhchme::Status st =
+          la::simd::ForceIsa(arg.substr(std::string("--force_isa=").size())
+                                 .c_str());
+      if (!st.ok()) {
+        std::fprintf(stderr, "bench_kernels: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      continue;  // Consumed; benchmark::Initialize must not see it.
+    }
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    args.push_back(argv[i]);
   }
+  std::string out_flag = std::string("--benchmark_out=") + kJsonOutPath;
+  std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
@@ -557,6 +603,8 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("rhchme_build_type", "debug");
 #endif
   benchmark::AddCustomContext("rhchme_simd", la::simd::IsaName());
+  benchmark::AddCustomContext("rhchme_simd_detected",
+                              la::simd::DetectedIsaName());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

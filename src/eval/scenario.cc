@@ -408,7 +408,12 @@ Status WriteScenarioReportJson(const ScenarioReport& report,
 #else
   std::fprintf(f, "    \"rhchme_build_type\": \"debug\",\n");
 #endif
+  // The runtime-dispatched table the run executed (after any force
+  // override) and what auto-detection would have picked; the compare
+  // gate keys on the former.
   std::fprintf(f, "    \"rhchme_simd\": \"%s\",\n", la::simd::IsaName());
+  std::fprintf(f, "    \"rhchme_simd_detected\": \"%s\",\n",
+               la::simd::DetectedIsaName());
   std::fprintf(f, "    \"workload\": \"%s\",\n",
                ScenarioWorkloadName(g.workload));
   auto write_doubles = [f](const char* key, const std::vector<double>& v) {

@@ -15,8 +15,9 @@ namespace {
 // (kBlockK x kBlockJ = 128 KB) stays resident in L2 while a panel of
 // kRowPanel output rows streams over it; the C row segment (kBlockJ
 // doubles) stays in L1 across the reduction tile. The accumulation order
-// for any output element is fixed by these constants alone, never by the
-// thread count, which keeps results bit-identical for any pool size.
+// for any output element is fixed by these constants and the dispatched
+// kernel table alone, never by the thread count, which keeps results
+// bit-identical for any pool size within a dispatched ISA.
 constexpr std::size_t kRowPanel = 32;
 constexpr std::size_t kBlockK = 64;
 constexpr std::size_t kBlockJ = 256;
@@ -43,200 +44,104 @@ bool PanelMostlyZero(const Matrix& a, std::size_t p0, std::size_t p1,
          kSparsePanelZeroFraction * static_cast<double>(total);
 }
 
+/// Same probe over one kBlockK-column segment of a single row — the
+/// la::Sandwich analogue of the A-tile probe. Sparse ensemble Laplacian
+/// rows (pNN graphs) sit far above the threshold; dense rows far below.
+bool SegmentMostlyZero(const double* row, std::size_t t0, std::size_t t1) {
+  std::size_t zeros = 0;
+  for (std::size_t t = t0; t < t1; ++t) zeros += (row[t] == 0.0);
+  return static_cast<double>(zeros) >=
+         kSparsePanelZeroFraction * static_cast<double>(t1 - t0);
+}
+
 /// Zero-skipping panel kernel: right for mostly-zero A tiles (membership
 /// blocks), where skipped rows save the whole B-row stream. The branch
 /// defeats vectorization of the l loop, which is why dense tiles bypass
 /// this kernel entirely.
-void GemmPanelSparse(const Matrix& a, const Matrix& b, Matrix* c,
-                     std::size_t p0, std::size_t p1, std::size_t kb,
-                     std::size_t kend) {
-  const std::size_t n = b.cols();
-  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
-    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
-    for (std::size_t i = p0; i < p1; ++i) {
-      const double* ai = a.row_ptr(i);
-      double* ci = c->row_ptr(i) + jb;
-      for (std::size_t l = kb; l < kend; ++l) {
-        const double ail = ai[l];
-        if (ail == 0.0) continue;
-        simd::Axpy(ail, b.row_ptr(l) + jb, ci, jlen);
-      }
+void GemmPanelSparse(const simd::KernelTable& kt, const Matrix& a,
+                     const Matrix& b, Matrix* c, std::size_t p0,
+                     std::size_t p1, std::size_t kb, std::size_t kend,
+                     std::size_t jb, std::size_t jlen) {
+  for (std::size_t i = p0; i < p1; ++i) {
+    const double* ai = a.row_ptr(i);
+    double* ci = c->row_ptr(i) + jb;
+    for (std::size_t l = kb; l < kend; ++l) {
+      const double ail = ai[l];
+      if (ail == 0.0) continue;
+      kt.axpy(ail, b.row_ptr(l) + jb, ci, jlen);
     }
   }
 }
 
-#if RHCHME_SIMD_VECTOR
-
-// Packed register-blocked microkernel. B tiles are packed once per
-// (kBlockK x kBlockJ) block into column panels of kNr doubles — aligned,
-// contiguous, reused by every row microtile of the panel — and a
-// kMr x kNr register accumulator tile runs an FMA-fused reduction over
-// the block. Terms still enter "l ascending within kb, kb ascending",
-// but the rounding chain differs from the zero-skip path (fused FMA into
-// a zero-initialised register partial vs unfused in-place updates of C),
-// so the two paths are NOT bit-identical to each other. That is fine for
-// the determinism contract: the probe reads only A's content on the
-// global panel grid, never the thread count, so the path chosen for a
-// given tile — and the result — is the same for every pool size.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 2 * simd::kLanes;
-
-/// Packs B rows [kb, kend) x cols [jb, jb+jlen) into `pack`, laid out as
-/// ceil(jlen/kNr) panels of (klen x kNr); short trailing panels are
-/// zero-filled so the microkernel always loads full vectors.
-void PackB(const Matrix& b, std::size_t kb, std::size_t kend, std::size_t jb,
-           std::size_t jlen, double* pack) {
-  const std::size_t klen = kend - kb;
-  for (std::size_t p = 0; p * kNr < jlen; ++p) {
-    const std::size_t j0 = jb + p * kNr;
-    const std::size_t w = std::min(kNr, jb + jlen - j0);
-    double* dst = pack + p * klen * kNr;
-    for (std::size_t l = 0; l < klen; ++l) {
-      const double* bl = b.row_ptr(kb + l) + j0;
-      for (std::size_t j = 0; j < w; ++j) dst[j] = bl[j];
-      for (std::size_t j = w; j < kNr; ++j) dst[j] = 0.0;
-      dst += kNr;
-    }
-  }
-}
-
-/// C row segment += accumulator pair, touching only the w real columns of
-/// a possibly short trailing panel.
-inline void AddTileRow(double* c, simd::Vec v0, simd::Vec v1, std::size_t w) {
-  if (w == kNr) {
-    simd::VStore(c, simd::VAdd(simd::VLoad(c), v0));
-    simd::VStore(c + simd::kLanes,
-                 simd::VAdd(simd::VLoad(c + simd::kLanes), v1));
-    return;
-  }
-  alignas(kAlignment) double t[kNr];
-  simd::VStore(t, v0);
-  simd::VStore(t + simd::kLanes, v1);
-  for (std::size_t j = 0; j < w; ++j) c[j] += t[j];
-}
-
-/// 4 x kNr register tile: 8 vector accumulators, two B loads and four
-/// broadcast-FMA pairs per reduction step.
-void MicroTile4(const double* a0, const double* a1, const double* a2,
-                const double* a3, const double* pb, std::size_t klen,
-                double* c0, double* c1, double* c2, double* c3,
-                std::size_t w) {
-  simd::Vec x00 = simd::VZero(), x01 = simd::VZero();
-  simd::Vec x10 = simd::VZero(), x11 = simd::VZero();
-  simd::Vec x20 = simd::VZero(), x21 = simd::VZero();
-  simd::Vec x30 = simd::VZero(), x31 = simd::VZero();
-  for (std::size_t l = 0; l < klen; ++l) {
-    const simd::Vec b0 = simd::VLoad(pb);
-    const simd::Vec b1 = simd::VLoad(pb + simd::kLanes);
-    pb += kNr;
-    simd::Vec av = simd::VSet1(a0[l]);
-    x00 = simd::VFma(av, b0, x00);
-    x01 = simd::VFma(av, b1, x01);
-    av = simd::VSet1(a1[l]);
-    x10 = simd::VFma(av, b0, x10);
-    x11 = simd::VFma(av, b1, x11);
-    av = simd::VSet1(a2[l]);
-    x20 = simd::VFma(av, b0, x20);
-    x21 = simd::VFma(av, b1, x21);
-    av = simd::VSet1(a3[l]);
-    x30 = simd::VFma(av, b0, x30);
-    x31 = simd::VFma(av, b1, x31);
-  }
-  AddTileRow(c0, x00, x01, w);
-  AddTileRow(c1, x10, x11, w);
-  AddTileRow(c2, x20, x21, w);
-  AddTileRow(c3, x30, x31, w);
-}
-
-/// 1 x kNr tail tile for the last rows() % kMr rows of a panel.
-void MicroTile1(const double* a0, const double* pb, std::size_t klen,
-                double* c0, std::size_t w) {
-  simd::Vec x0 = simd::VZero(), x1 = simd::VZero();
-  for (std::size_t l = 0; l < klen; ++l) {
-    const simd::Vec av = simd::VSet1(a0[l]);
-    x0 = simd::VFma(av, simd::VLoad(pb), x0);
-    x1 = simd::VFma(av, simd::VLoad(pb + simd::kLanes), x1);
-    pb += kNr;
-  }
-  AddTileRow(c0, x0, x1, w);
-}
-
-/// Dense-tile panel kernel: packs each B block once, then streams the
-/// panel's row microtiles over the packed panels.
-void GemmPanelDense(const Matrix& a, const Matrix& b, Matrix* c,
-                    std::size_t p0, std::size_t p1, std::size_t kb,
-                    std::size_t kend, AlignedVector<double>* pack) {
-  const std::size_t n = b.cols();
-  const std::size_t klen = kend - kb;
-  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
-    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
-    const std::size_t npanels = (jlen + kNr - 1) / kNr;
-    pack->resize(npanels * klen * kNr);
-    PackB(b, kb, kend, jb, jlen, pack->data());
-    for (std::size_t p = 0; p < npanels; ++p) {
-      const std::size_t j0 = jb + p * kNr;
-      const std::size_t w = std::min(kNr, jb + jlen - j0);
-      const double* pbp = pack->data() + p * klen * kNr;
-      std::size_t i = p0;
-      for (; i + kMr <= p1; i += kMr) {
-        MicroTile4(a.row_ptr(i) + kb, a.row_ptr(i + 1) + kb,
-                   a.row_ptr(i + 2) + kb, a.row_ptr(i + 3) + kb, pbp, klen,
-                   c->row_ptr(i) + j0, c->row_ptr(i + 1) + j0,
-                   c->row_ptr(i + 2) + j0, c->row_ptr(i + 3) + j0, w);
-      }
-      for (; i < p1; ++i) {
-        MicroTile1(a.row_ptr(i) + kb, pbp, klen, c->row_ptr(i) + j0, w);
-      }
-    }
-  }
-}
-
-#else  // !RHCHME_SIMD_VECTOR
-
-/// Scalar dense-tile kernel: the same loops as the sparse kernel minus the
-/// per-element zero test, which lets the compiler vectorize the j loop
-/// with whatever the baseline ISA offers.
-void GemmPanelDense(const Matrix& a, const Matrix& b, Matrix* c,
-                    std::size_t p0, std::size_t p1, std::size_t kb,
-                    std::size_t kend) {
-  const std::size_t n = b.cols();
-  for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
-    const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
-    for (std::size_t i = p0; i < p1; ++i) {
-      const double* ai = a.row_ptr(i);
-      double* ci = c->row_ptr(i) + jb;
-      for (std::size_t l = kb; l < kend; ++l) {
-        simd::Axpy(ai[l], b.row_ptr(l) + jb, ci, jlen);
-      }
-    }
-  }
-}
-
-#endif  // RHCHME_SIMD_VECTOR
-
-/// C rows [r0, r1) of C = A * B, tiled over the reduction and column dims.
-/// Walks kRowPanel sub-panels on the *global* row grid: ParallelFor chunk
-/// starts are always grain-aligned (even when ranges fuse on the inline
-/// path), so the sub-panel extents — and with them the per-tile
-/// sparse/dense probe decisions — are identical for every pool size.
+/// C rows [r0, r1) of C = A * B, tiled over the reduction and column dims
+/// on the dispatched table's packed protocol. Loop order per chunk is
+/// kb → jb → row panel: every dense (panel × kb) A tile is packed once
+/// into mr-row micro-panels (BLIS A-panel layout — the packed stream is
+/// contiguous in the reduction direction, which removes the strided-row
+/// L1 conflict misses that capped the unpacked microkernel at large n),
+/// and each nr-column packed B block is then reused across *all* row
+/// panels of the chunk — B packing traffic scales with blocks, not with
+/// blocks × panels, which is what capped the packed kernel at n=1024.
+///
+/// Terms enter every C element in "l ascending within kb, kb ascending"
+/// order on both paths, but the rounding chain differs between them (FMA
+/// into a zero-initialised register partial vs unfused in-place updates
+/// of C), so the two paths are NOT bit-identical to each other. That is
+/// fine for the determinism contract: probe decisions sit on kRowPanel
+/// sub-panels of the *global* row grid (ParallelFor chunk starts are
+/// always grain-aligned, even when ranges fuse on the inline path) and
+/// read only A's content, never the thread count, so the path chosen for
+/// a given tile — and the result — is the same for every pool size.
 void GemmPanelNN(const Matrix& a, const Matrix& b, Matrix* c, std::size_t r0,
                  std::size_t r1) {
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t k = a.cols();
-#if RHCHME_SIMD_VECTOR
-  AlignedVector<double> pack;
-#endif
-  for (std::size_t p0 = r0; p0 < r1; p0 += kRowPanel) {
-    const std::size_t p1 = std::min(r1, p0 + kRowPanel);
-    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
-      const std::size_t kend = std::min(k, kb + kBlockK);
-      if (PanelMostlyZero(a, p0, p1, kb, kend)) {
-        GemmPanelSparse(a, b, c, p0, p1, kb, kend);
-      } else {
-#if RHCHME_SIMD_VECTOR
-        GemmPanelDense(a, b, c, p0, p1, kb, kend, &pack);
-#else
-        GemmPanelDense(a, b, c, p0, p1, kb, kend);
-#endif
+  const std::size_t n = b.cols();
+  const std::size_t npanels = (r1 - r0 + kRowPanel - 1) / kRowPanel;
+  AlignedVector<double> packa, packb;
+  std::vector<std::size_t> aoff(npanels);
+  std::vector<char> sparse(npanels);
+  for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+    const std::size_t kend = std::min(k, kb + kBlockK);
+    const std::size_t klen = kend - kb;
+    std::size_t atotal = 0;
+    for (std::size_t p = 0; p < npanels; ++p) {
+      const std::size_t p0 = r0 + p * kRowPanel;
+      const std::size_t p1 = std::min(r1, p0 + kRowPanel);
+      sparse[p] = PanelMostlyZero(a, p0, p1, kb, kend) ? 1 : 0;
+      if (!sparse[p]) {
+        const std::size_t apanels = (p1 - p0 + kt.mr - 1) / kt.mr;
+        aoff[p] = atotal;
+        atotal += apanels * klen * kt.mr;
+      }
+    }
+    packa.resize(atotal);
+    for (std::size_t p = 0; p < npanels; ++p) {
+      if (sparse[p]) continue;
+      const std::size_t p0 = r0 + p * kRowPanel;
+      const std::size_t p1 = std::min(r1, p0 + kRowPanel);
+      kt.pack_a(a.row_ptr(p0) + kb, a.stride(), p1 - p0, klen,
+                packa.data() + aoff[p]);
+    }
+    for (std::size_t jb = 0; jb < n; jb += kBlockJ) {
+      const std::size_t jlen = std::min(n, jb + kBlockJ) - jb;
+      bool b_packed = false;
+      for (std::size_t p = 0; p < npanels; ++p) {
+        const std::size_t p0 = r0 + p * kRowPanel;
+        const std::size_t p1 = std::min(r1, p0 + kRowPanel);
+        if (sparse[p]) {
+          GemmPanelSparse(kt, a, b, c, p0, p1, kb, kend, jb, jlen);
+          continue;
+        }
+        if (!b_packed) {
+          const std::size_t bpanels = (jlen + kt.nr - 1) / kt.nr;
+          packb.resize(bpanels * klen * kt.nr);
+          kt.pack_b(b.row_ptr(kb) + jb, b.stride(), klen, jlen,
+                    packb.data());
+          b_packed = true;
+        }
+        kt.gemm_packed(packa.data() + aoff[p], packb.data(), p1 - p0, klen,
+                       jlen, c->row_ptr(p0) + jb, c->stride());
       }
     }
   }
@@ -279,6 +184,7 @@ Matrix MultiplyTN(const Matrix& a, const Matrix& b) {
 
 void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.rows() == b.rows(), "MultiplyTN: inner dims mismatch");
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t kk = a.rows(), m = a.cols(), n = b.cols();
   c->Resize(m, n);
   if (kk == 0 || m == 0 || n == 0) return;
@@ -298,7 +204,7 @@ void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
       for (std::size_t i = 0; i < m; ++i) {
         const double aki = ak[i];
         if (aki == 0.0) continue;
-        simd::Axpy(aki, bk, c->row_ptr(i), n);
+        kt.axpy(aki, bk, c->row_ptr(i), n);
       }
     }
     return;
@@ -315,7 +221,7 @@ void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
         for (std::size_t i = 0; i < m; ++i) {
           const double aki = ak[i];
           if (aki == 0.0) continue;
-          simd::Axpy(aki, bk, slot.row_ptr(i), n);
+          kt.axpy(aki, bk, slot.row_ptr(i), n);
         }
       }
     }
@@ -325,6 +231,7 @@ void MultiplyTNStreamInto(const Matrix& a, const Matrix& b, Matrix* c) {
 
 void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
   RHCHME_CHECK(a.cols() == b.cols(), "MultiplyNT: inner dims mismatch");
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   c->Resize(m, n);
   // C(i,j) is a dot product of two contiguous rows; rows of C are
@@ -336,7 +243,7 @@ void MultiplyNTInto(const Matrix& a, const Matrix& b, Matrix* c) {
       const double* ai = a.row_ptr(i);
       double* ci = c->row_ptr(i);
       for (std::size_t j = 0; j < n; ++j) {
-        ci[j] = simd::Dot(ai, b.row_ptr(j), k);
+        ci[j] = kt.dot(ai, b.row_ptr(j), k);
       }
     }
   });
@@ -349,6 +256,7 @@ Matrix MultiplyNT(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Gram(const Matrix& a) {
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t k = a.rows(), n = a.cols();
   Matrix g(n, n);
   if (n == 0) return g;
@@ -363,7 +271,7 @@ Matrix Gram(const Matrix& a) {
       const double* ati = at.row_ptr(i);
       double* gi = g.row_ptr(i);
       for (std::size_t j = i; j < n; ++j) {
-        gi[j] = simd::Dot(ati, at.row_ptr(j), k);
+        gi[j] = kt.dot(ati, at.row_ptr(j), k);
       }
     }
   });
@@ -380,11 +288,12 @@ Matrix Gram(const Matrix& a) {
 
 std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x) {
   RHCHME_CHECK(a.cols() == x.size(), "MultiplyVec: dims mismatch");
+  const simd::KernelTable& kt = simd::Table();
   std::vector<double> y(a.rows(), 0.0);
   util::ParallelFor(0, a.rows(), util::GrainForWork(2 * a.cols() + 1),
                     [&](std::size_t r0, std::size_t r1) {
                       for (std::size_t i = r0; i < r1; ++i) {
-                        y[i] = simd::Dot(a.row_ptr(i), x.data(), a.cols());
+                        y[i] = kt.dot(a.row_ptr(i), x.data(), a.cols());
                       }
                     });
   return y;
@@ -393,6 +302,7 @@ std::vector<double> MultiplyVec(const Matrix& a, const std::vector<double>& x) {
 std::vector<double> MultiplyTVec(const Matrix& a,
                                  const std::vector<double>& x) {
   RHCHME_CHECK(a.rows() == x.size(), "MultiplyTVec: dims mismatch");
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t kk = a.rows(), m = a.cols();
   std::vector<double> y(m, 0.0);
   if (kk == 0 || m == 0) return y;
@@ -409,7 +319,7 @@ std::vector<double> MultiplyTVec(const Matrix& a,
     for (std::size_t i = 0; i < kk; ++i) {
       const double xi = x[i];
       if (xi == 0.0) continue;
-      simd::Axpy(xi, a.row_ptr(i), y.data(), m);
+      kt.axpy(xi, a.row_ptr(i), y.data(), m);
     }
     return y;
   }
@@ -422,18 +332,19 @@ std::vector<double> MultiplyTVec(const Matrix& a,
       for (std::size_t i = cb; i < ce; ++i) {
         const double xi = x[i];
         if (xi == 0.0) continue;
-        simd::Axpy(xi, a.row_ptr(i), slot.data(), m);
+        kt.axpy(xi, a.row_ptr(i), slot.data(), m);
       }
     }
   });
   for (const std::vector<double>& slot : partial) {
-    simd::Add(y.data(), slot.data(), m);
+    kt.add(y.data(), slot.data(), m);
   }
   return y;
 }
 
 double FrobeniusInner(const Matrix& a, const Matrix& b) {
   RHCHME_CHECK(a.SameShape(b), "FrobeniusInner: shape mismatch");
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t cols = a.cols();
   if (a.rows() == 0 || cols == 0) return 0.0;
   // Row-wise so the padded storage's stride never enters the sum; rows
@@ -443,8 +354,8 @@ double FrobeniusInner(const Matrix& a, const Matrix& b) {
                            [&](std::size_t r0, std::size_t r1) {
                              double acc = 0.0;
                              for (std::size_t i = r0; i < r1; ++i) {
-                               acc += simd::Dot(a.row_ptr(i), b.row_ptr(i),
-                                                cols);
+                               acc += kt.dot(a.row_ptr(i), b.row_ptr(i),
+                                             cols);
                              }
                              return acc;
                            });
@@ -453,12 +364,20 @@ double FrobeniusInner(const Matrix& a, const Matrix& b) {
 double Sandwich(const Matrix& g, const Matrix& l) {
   RHCHME_CHECK(l.rows() == l.cols() && l.rows() == g.rows(),
                "Sandwich: shape mismatch");
+  const simd::KernelTable& kt = simd::Table();
   const std::size_t n = g.rows(), c = g.cols();
   if (n == 0 || c == 0) return 0.0;
   // tr(Gᵀ L G) = Σ_i (L G)(i,:) · G(i,:). Each chunk streams its rows of L
   // against G into a c-sized scratch row, so the n x c intermediate is
   // never materialised; ParallelSum adds the per-chunk traces in fixed
-  // chunk order.
+  // chunk order. Each L row is probed per kBlockK-column segment, the
+  // same way GemmPanelNN probes A tiles: mostly-zero segments (ensemble
+  // Laplacians are pNN-sparse) take the zero-skip branch, dense segments
+  // (fused or corrupted Laplacians) drop the per-element test so every
+  // axpy issues back to back. Skipping a zero coefficient and issuing its
+  // axpy produce the same u (a 0·x term adds exactly zero), so the probe
+  // only picks between equivalent schedules — and it reads L's content
+  // alone, never the thread count.
   const std::size_t grain =
       std::max(std::size_t{1}, util::GrainForWork(2 * n * c));
   return util::ParallelSum(0, n, grain, [&](std::size_t r0, std::size_t r1) {
@@ -467,12 +386,21 @@ double Sandwich(const Matrix& g, const Matrix& l) {
     for (std::size_t i = r0; i < r1; ++i) {
       std::fill(u.begin(), u.end(), 0.0);
       const double* li = l.row_ptr(i);
-      for (std::size_t t = 0; t < n; ++t) {
-        const double lit = li[t];
-        if (lit == 0.0) continue;  // Ensemble Laplacians are pNN-sparse.
-        simd::Axpy(lit, g.row_ptr(t), u.data(), c);
+      for (std::size_t tb = 0; tb < n; tb += kBlockK) {
+        const std::size_t tend = std::min(n, tb + kBlockK);
+        if (SegmentMostlyZero(li, tb, tend)) {
+          for (std::size_t t = tb; t < tend; ++t) {
+            const double lit = li[t];
+            if (lit == 0.0) continue;
+            kt.axpy(lit, g.row_ptr(t), u.data(), c);
+          }
+        } else {
+          for (std::size_t t = tb; t < tend; ++t) {
+            kt.axpy(li[t], g.row_ptr(t), u.data(), c);
+          }
+        }
       }
-      acc += simd::Dot(u.data(), g.row_ptr(i), c);
+      acc += kt.dot(u.data(), g.row_ptr(i), c);
     }
     return acc;
   });

@@ -7,17 +7,20 @@
 // by util::SetNumThreads / the RHCHME_NUM_THREADS environment variable,
 // and grain sizes derive from util::GrainForWork (≈64K flops per chunk).
 //
-// Within each row panel the inner loops run on the SIMD microkernel layer
-// (la/simd.h): dense A tiles go through a packed register-blocked FMA
-// microkernel, mostly-zero tiles (membership blocks) keep a zero-skipping
-// scalar path, selected per tile by a cheap density probe. With
-// RHCHME_ENABLE_SIMD off everything falls back to portable scalar loops.
+// Within each row panel the inner loops run on the runtime-dispatched
+// kernel table (la/simd.h, la/kernels.h): dense A tiles are packed —
+// both operands, BLIS-style — and go through the table's register-blocked
+// microkernel; mostly-zero tiles (membership blocks) keep a zero-skipping
+// axpy path, selected per tile by a cheap density probe (Sandwich applies
+// the same probe per reduction segment of each L row). One binary carries
+// every compiled table (scalar, avx2, avx512, neon) and picks one at
+// startup by CPUID; RHCHME_FORCE_ISA / --force_isa pins the choice.
 //
 // Determinism: each output row is produced by exactly one chunk and its
 // accumulation order is fixed by compile-time tile constants and the
 // shape-only chunk layout, never by the thread count or schedule, so
-// results are bit-identical for any pool size *within a given build*
-// (vector and scalar builds reassociate reductions differently and are
+// results are bit-identical for any pool size *under a given dispatched
+// table* (different tables reassociate reductions differently and are
 // not bit-comparable to each other). Shapes are checked; `*Into` variants
 // reuse the caller's output buffer.
 

@@ -1,0 +1,105 @@
+// The runtime-dispatched kernel table: one struct of function pointers per
+// instruction set, resolved once at startup by CPUID feature detection
+// (la/simd.h owns the dispatch; this header owns the seam).
+//
+// Every ISA's implementations live in their own translation unit —
+// la/kernels_scalar.cc, la/kernels_avx2.cc, la/kernels_avx512.cc,
+// la/kernels_neon.cc — and those files are the ONLY ones compiled with
+// their `-m` ISA flags (see CMakeLists.txt). That is what lets one binary
+// carry scalar through AVX-512 side by side without the classic
+// illegal-instruction hazard: this header must therefore stay free of
+// inline functions and of includes that carry them. An inline function
+// compiled into an AVX-512 TU lands in a COMDAT section the linker may
+// pick for the whole program, which would execute AVX-512 code on a host
+// the dispatcher correctly classified as AVX2-only. Raw pointers, plain
+// declarations, <cstddef> only.
+//
+// Numerics contract carried by every table (docs/ARCHITECTURE.md "Kernel
+// layer"):
+//   - Element-parallel kernels (Axpy, Add, Sub, Scale, Hadamard) perform
+//     exactly one (unfused) multiply and/or add per element in the scalar
+//     reference's per-element order — bit-identical to simd::scalar::*
+//     for every table, including the AVX-512 masked tails.
+//   - Reductions (Dot, SquaredDistance) reassociate into a fixed number
+//     of lane accumulators combined in a fixed order that depends only on
+//     the table and the call's length — bit-stable across thread counts
+//     per dispatched table, bounded rounding away from the scalar chain.
+//   - The packed GEMM microkernel fixes its accumulation order by the
+//     table's (mr, nr) geometry and the call's klen alone.
+
+#ifndef RHCHME_LA_KERNELS_H_
+#define RHCHME_LA_KERNELS_H_
+
+#include <cstddef>
+
+namespace rhchme {
+namespace la {
+namespace simd {
+
+/// Instruction sets a kernel table can be built for, in dispatch
+/// preference order (highest first at runtime: kAvx512 > kAvx2 > kNeon >
+/// kScalar).
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// One ISA's complete kernel set. All pointers are always non-null in a
+/// table returned by the registry; geometry fields size the caller-owned
+/// GEMM packing buffers.
+struct KernelTable {
+  const char* name;   ///< Resolved table name: "scalar", "avx2", "avx512", "neon".
+  Isa isa;            ///< Which ISA this table implements.
+  std::size_t lanes;  ///< Doubles per vector register (1 for scalar).
+  std::size_t mr;     ///< GEMM microkernel rows (A micro-panel height).
+  std::size_t nr;     ///< GEMM microkernel cols (B panel width, doubles).
+
+  /// y[0..n) += a * x[0..n). Unfused multiply+add per element.
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+  /// Σ a[i]·b[i] with the table's fixed lane-accumulator order.
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  /// Σ (a[i]-b[i])², same accumulator structure as dot.
+  double (*squared_distance)(const double* a, const double* b,
+                             std::size_t n);
+  void (*add)(double* y, const double* x, std::size_t n);
+  void (*sub)(double* y, const double* x, std::size_t n);
+  void (*scale)(double* y, double s, std::size_t n);
+  void (*hadamard)(double* y, const double* x, std::size_t n);
+
+  /// Packs B rows [0, klen) x cols [0, jlen) (row stride ldb) into `pack`,
+  /// laid out as ceil(jlen/nr) column panels of (klen x nr); short trailing
+  /// panels are zero-filled so the microkernel always loads full vectors.
+  /// `pack` must hold ceil(jlen/nr) * klen * nr doubles, 64-byte aligned.
+  void (*pack_b)(const double* b, std::size_t ldb, std::size_t klen,
+                 std::size_t jlen, double* pack);
+
+  /// Packs A rows [0, mrows) x cols [0, klen) (row stride lda) into `pack`,
+  /// laid out as ceil(mrows/mr) row micro-panels of (klen x mr) with the mr
+  /// row values interleaved per reduction step (BLIS A-panel layout); rows
+  /// beyond mrows are zero-filled. `pack` must hold
+  /// ceil(mrows/mr) * klen * mr doubles, 64-byte aligned.
+  void (*pack_a)(const double* a, std::size_t lda, std::size_t mrows,
+                 std::size_t klen, double* pack);
+
+  /// C[0..mrows) x [0..jlen) (row stride ldc) += packed A * packed B,
+  /// where both operands were laid out by this table's pack_a / pack_b
+  /// with the same (mrows, klen, jlen). Accumulates each output tile in a
+  /// register block over the full klen reduction before touching C.
+  void (*gemm_packed)(const double* packa, const double* packb,
+                      std::size_t mrows, std::size_t klen, std::size_t jlen,
+                      double* c, std::size_t ldc);
+};
+
+/// Per-ISA table accessors, defined one per kernels_*.cc TU. Each returns
+/// its table when the TU was compiled with the matching ISA enabled, and
+/// nullptr otherwise (the TU compiles to a stub on foreign architectures
+/// or with an older compiler), so the dispatcher can probe what this
+/// binary actually carries. Hardware support is the dispatcher's problem,
+/// not these accessors'.
+const KernelTable* ScalarKernelTable();  // Never null.
+const KernelTable* Avx2KernelTable();
+const KernelTable* Avx512KernelTable();
+const KernelTable* NeonKernelTable();
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // RHCHME_LA_KERNELS_H_

@@ -1,0 +1,241 @@
+// AVX2+FMA kernel table. This TU (and only this TU) is compiled with
+// -mavx2 -mfma; it is reached exclusively through the dispatch table, so
+// the binary stays legal on pre-Haswell hosts. Everything here has
+// internal linkage — no inline helper may escape into a COMDAT the linker
+// could pick for other TUs (see la/kernels.h).
+//
+// The arithmetic is the PR 4 compile-time AVX2 path, unchanged: unfused
+// mul+add per element for the element-parallel kernels (bit-identical to
+// scalar), two 4-lane FMA accumulators summed in fixed ascending-lane
+// order for the reductions, and the 4 x 8 broadcast-FMA register tile for
+// the GEMM microkernel. A-panel packing only relocates the same operands
+// into a contiguous stream, so dispatched results are bit-identical to
+// the old `-mavx2`-global build.
+
+#include "la/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace rhchme {
+namespace la {
+namespace simd {
+namespace {
+
+constexpr std::size_t kLanes = 4;
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 2 * kLanes;
+
+using Vec = __m256d;
+
+/// Lane sum in fixed ascending-lane order: ((l0+l1)+l2)+l3.
+double SumLanes(Vec v) {
+  alignas(32) double t[kLanes];
+  _mm256_store_pd(t, v);
+  return ((t[0] + t[1]) + t[2]) + t[3];
+}
+
+void Axpy(double a, const double* x, double* y, std::size_t n) {
+  const Vec av = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + kLanes),
+                           _mm256_loadu_pd(b + i + kLanes), acc1);
+  }
+  double s = SumLanes(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    const Vec d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                 _mm256_loadu_pd(b + i));
+    const Vec d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + kLanes),
+                                 _mm256_loadu_pd(b + i + kLanes));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double s = SumLanes(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void Add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void Sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void Scale(double* y, double s, std::size_t n) {
+  const Vec sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), sv));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void Hadamard(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void PackB(const double* b, std::size_t ldb, std::size_t klen,
+           std::size_t jlen, double* pack) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    double* dst = pack + p * klen * kNr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      const double* bl = b + l * ldb + j0;
+      for (std::size_t j = 0; j < w; ++j) dst[j] = bl[j];
+      for (std::size_t j = w; j < kNr; ++j) dst[j] = 0.0;
+      dst += kNr;
+    }
+  }
+}
+
+void PackA(const double* a, std::size_t lda, std::size_t mrows,
+           std::size_t klen, double* pack) {
+  for (std::size_t p = 0; p * kMr < mrows; ++p) {
+    const std::size_t i0 = p * kMr;
+    const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+    double* dst = pack + p * klen * kMr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      for (std::size_t r = 0; r < h; ++r) dst[r] = a[(i0 + r) * lda + l];
+      for (std::size_t r = h; r < kMr; ++r) dst[r] = 0.0;
+      dst += kMr;
+    }
+  }
+}
+
+/// C row segment += accumulator pair, touching only the w real columns of
+/// a possibly short trailing panel.
+void AddTileRow(double* c, Vec v0, Vec v1, std::size_t w) {
+  if (w == kNr) {
+    _mm256_storeu_pd(c, _mm256_add_pd(_mm256_loadu_pd(c), v0));
+    _mm256_storeu_pd(c + kLanes,
+                     _mm256_add_pd(_mm256_loadu_pd(c + kLanes), v1));
+    return;
+  }
+  alignas(64) double t[kNr];
+  _mm256_store_pd(t, v0);
+  _mm256_store_pd(t + kLanes, v1);
+  for (std::size_t j = 0; j < w; ++j) c[j] += t[j];
+}
+
+/// 4 x 8 register tile over one packed A micro-panel and one packed B
+/// column panel: 8 vector accumulators, two B loads and four
+/// broadcast-FMA pairs per reduction step. `h` rows of C are written.
+void MicroTile(const double* pa, const double* pb, std::size_t klen,
+               double* c, std::size_t ldc, std::size_t h, std::size_t w) {
+  Vec x00 = _mm256_setzero_pd(), x01 = _mm256_setzero_pd();
+  Vec x10 = _mm256_setzero_pd(), x11 = _mm256_setzero_pd();
+  Vec x20 = _mm256_setzero_pd(), x21 = _mm256_setzero_pd();
+  Vec x30 = _mm256_setzero_pd(), x31 = _mm256_setzero_pd();
+  for (std::size_t l = 0; l < klen; ++l) {
+    const Vec b0 = _mm256_loadu_pd(pb);
+    const Vec b1 = _mm256_loadu_pd(pb + kLanes);
+    pb += kNr;
+    Vec av = _mm256_set1_pd(pa[0]);
+    x00 = _mm256_fmadd_pd(av, b0, x00);
+    x01 = _mm256_fmadd_pd(av, b1, x01);
+    av = _mm256_set1_pd(pa[1]);
+    x10 = _mm256_fmadd_pd(av, b0, x10);
+    x11 = _mm256_fmadd_pd(av, b1, x11);
+    av = _mm256_set1_pd(pa[2]);
+    x20 = _mm256_fmadd_pd(av, b0, x20);
+    x21 = _mm256_fmadd_pd(av, b1, x21);
+    av = _mm256_set1_pd(pa[3]);
+    x30 = _mm256_fmadd_pd(av, b0, x30);
+    x31 = _mm256_fmadd_pd(av, b1, x31);
+    pa += kMr;
+  }
+  AddTileRow(c, x00, x01, w);
+  if (h > 1) AddTileRow(c + ldc, x10, x11, w);
+  if (h > 2) AddTileRow(c + 2 * ldc, x20, x21, w);
+  if (h > 3) AddTileRow(c + 3 * ldc, x30, x31, w);
+}
+
+void GemmPacked(const double* packa, const double* packb, std::size_t mrows,
+                std::size_t klen, std::size_t jlen, double* c,
+                std::size_t ldc) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    const double* pb = packb + p * klen * kNr;
+    for (std::size_t q = 0; q * kMr < mrows; ++q) {
+      const std::size_t i0 = q * kMr;
+      const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+      MicroTile(packa + q * klen * kMr, pb, klen, c + i0 * ldc + j0, ldc, h,
+                w);
+    }
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2", Isa::kAvx2, kLanes,          kMr, kNr,   Axpy,
+    Dot,    SquaredDistance, Add,        Sub, Scale, Hadamard,
+    PackB,  PackA,           GemmPacked,
+};
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() { return &kAvx2Table; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace rhchme {
+namespace la {
+namespace simd {
+
+// Stub when the build could not enable AVX2 for this TU (foreign
+// architecture or an older compiler): the dispatcher sees a binary that
+// simply does not carry the path.
+const KernelTable* Avx2KernelTable() { return nullptr; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // __AVX2__ && __FMA__

@@ -1,0 +1,288 @@
+// AVX-512 kernel table (F + DQ). This TU (and only this TU) is compiled
+// with -mavx512f -mavx512dq -mfma; like the AVX2 TU it is reached only
+// through the dispatch table, and every helper has internal linkage so no
+// 512-bit code can leak into a COMDAT shared with other TUs (la/kernels.h).
+//
+// Tail handling uses AVX-512 write masks instead of scalar remainder
+// loops: `_mm512_maskz_loadu_pd` zero-fills the dead lanes and
+// `_mm512_mask_storeu_pd` leaves them untouched in memory. For the
+// element-parallel kernels each live lane still performs the scalar
+// reference's exact unfused operation, so bit-identity with scalar holds
+// through the masked tail. For the reductions the maskz zero lanes fold
+// into the accumulators as exact +0.0 terms (0*0+acc == acc), so the
+// result depends only on the call's length — the fixed-lane-order
+// contract of la/kernels.h.
+//
+// GEMM geometry is 8 x 16: mr=8 packed A rows against nr=16 packed B
+// columns (two zmm registers), i.e. 16 vector accumulators per tile.
+
+#include "la/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace rhchme {
+namespace la {
+namespace simd {
+namespace {
+
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 2 * kLanes;
+
+using Vec = __m512d;
+
+/// Mask selecting the low `rem` of 8 lanes (rem in [0, 8]).
+__mmask8 TailMask(std::size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+/// Lane sum in fixed ascending-lane order l0 through l7.
+double SumLanes(Vec v) {
+  alignas(64) double t[kLanes];
+  _mm512_store_pd(t, v);
+  double s = t[0];
+  for (std::size_t l = 1; l < kLanes; ++l) s += t[l];
+  return s;
+}
+
+void Axpy(double a, const double* x, double* y, std::size_t n) {
+  const Vec av = _mm512_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                             _mm512_mul_pd(av, _mm512_loadu_pd(x + i))));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    _mm512_mask_storeu_pd(
+        y + i, m,
+        _mm512_add_pd(_mm512_maskz_loadu_pd(m, y + i),
+                      _mm512_mul_pd(av, _mm512_maskz_loadu_pd(m, x + i))));
+  }
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = _mm512_setzero_pd(), acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + kLanes),
+                           _mm512_loadu_pd(b + i + kLanes), acc1);
+  }
+  if (i + kLanes <= n) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    i += kLanes;
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    acc1 = _mm512_fmadd_pd(_mm512_maskz_loadu_pd(m, a + i),
+                           _mm512_maskz_loadu_pd(m, b + i), acc1);
+  }
+  return SumLanes(_mm512_add_pd(acc0, acc1));
+}
+
+double SquaredDistance(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = _mm512_setzero_pd(), acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    const Vec d0 = _mm512_sub_pd(_mm512_loadu_pd(a + i),
+                                 _mm512_loadu_pd(b + i));
+    const Vec d1 = _mm512_sub_pd(_mm512_loadu_pd(a + i + kLanes),
+                                 _mm512_loadu_pd(b + i + kLanes));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + kLanes <= n) {
+    const Vec d = _mm512_sub_pd(_mm512_loadu_pd(a + i),
+                                _mm512_loadu_pd(b + i));
+    acc0 = _mm512_fmadd_pd(d, d, acc0);
+    i += kLanes;
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    const Vec d = _mm512_sub_pd(_mm512_maskz_loadu_pd(m, a + i),
+                                _mm512_maskz_loadu_pd(m, b + i));
+    acc1 = _mm512_fmadd_pd(d, d, acc1);
+  }
+  return SumLanes(_mm512_add_pd(acc0, acc1));
+}
+
+void Add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                                          _mm512_loadu_pd(x + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    _mm512_mask_storeu_pd(y + i, m,
+                          _mm512_add_pd(_mm512_maskz_loadu_pd(m, y + i),
+                                        _mm512_maskz_loadu_pd(m, x + i)));
+  }
+}
+
+void Sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(y + i, _mm512_sub_pd(_mm512_loadu_pd(y + i),
+                                          _mm512_loadu_pd(x + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    _mm512_mask_storeu_pd(y + i, m,
+                          _mm512_sub_pd(_mm512_maskz_loadu_pd(m, y + i),
+                                        _mm512_maskz_loadu_pd(m, x + i)));
+  }
+}
+
+void Scale(double* y, double s, std::size_t n) {
+  const Vec sv = _mm512_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(y + i, _mm512_mul_pd(_mm512_loadu_pd(y + i), sv));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    _mm512_mask_storeu_pd(
+        y + i, m, _mm512_mul_pd(_mm512_maskz_loadu_pd(m, y + i), sv));
+  }
+}
+
+void Hadamard(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(y + i, _mm512_mul_pd(_mm512_loadu_pd(y + i),
+                                          _mm512_loadu_pd(x + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    _mm512_mask_storeu_pd(y + i, m,
+                          _mm512_mul_pd(_mm512_maskz_loadu_pd(m, y + i),
+                                        _mm512_maskz_loadu_pd(m, x + i)));
+  }
+}
+
+void PackB(const double* b, std::size_t ldb, std::size_t klen,
+           std::size_t jlen, double* pack) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    double* dst = pack + p * klen * kNr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      const double* bl = b + l * ldb + j0;
+      for (std::size_t j = 0; j < w; ++j) dst[j] = bl[j];
+      for (std::size_t j = w; j < kNr; ++j) dst[j] = 0.0;
+      dst += kNr;
+    }
+  }
+}
+
+void PackA(const double* a, std::size_t lda, std::size_t mrows,
+           std::size_t klen, double* pack) {
+  for (std::size_t p = 0; p * kMr < mrows; ++p) {
+    const std::size_t i0 = p * kMr;
+    const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+    double* dst = pack + p * klen * kMr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      for (std::size_t r = 0; r < h; ++r) dst[r] = a[(i0 + r) * lda + l];
+      for (std::size_t r = h; r < kMr; ++r) dst[r] = 0.0;
+      dst += kMr;
+    }
+  }
+}
+
+/// C row segment += accumulator pair; masked stores cover short trailing
+/// panels without touching columns beyond w.
+void AddTileRow(double* c, Vec v0, Vec v1, std::size_t w) {
+  if (w == kNr) {
+    _mm512_storeu_pd(c, _mm512_add_pd(_mm512_loadu_pd(c), v0));
+    _mm512_storeu_pd(c + kLanes,
+                     _mm512_add_pd(_mm512_loadu_pd(c + kLanes), v1));
+    return;
+  }
+  const __mmask8 m0 = w >= kLanes ? TailMask(kLanes) : TailMask(w);
+  _mm512_mask_storeu_pd(
+      c, m0, _mm512_add_pd(_mm512_maskz_loadu_pd(m0, c), v0));
+  if (w > kLanes) {
+    const __mmask8 m1 = TailMask(w - kLanes);
+    _mm512_mask_storeu_pd(
+        c + kLanes, m1,
+        _mm512_add_pd(_mm512_maskz_loadu_pd(m1, c + kLanes), v1));
+  }
+}
+
+/// 8 x 16 register tile: 16 zmm accumulators, two B loads and eight
+/// broadcast-FMA pairs per reduction step. `h` rows of C are written.
+void MicroTile(const double* pa, const double* pb, std::size_t klen,
+               double* c, std::size_t ldc, std::size_t h, std::size_t w) {
+  Vec x0[kMr], x1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    x0[r] = _mm512_setzero_pd();
+    x1[r] = _mm512_setzero_pd();
+  }
+  for (std::size_t l = 0; l < klen; ++l) {
+    const Vec b0 = _mm512_loadu_pd(pb);
+    const Vec b1 = _mm512_loadu_pd(pb + kLanes);
+    pb += kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const Vec av = _mm512_set1_pd(pa[r]);
+      x0[r] = _mm512_fmadd_pd(av, b0, x0[r]);
+      x1[r] = _mm512_fmadd_pd(av, b1, x1[r]);
+    }
+    pa += kMr;
+  }
+  for (std::size_t r = 0; r < h; ++r) {
+    AddTileRow(c + r * ldc, x0[r], x1[r], w);
+  }
+}
+
+void GemmPacked(const double* packa, const double* packb, std::size_t mrows,
+                std::size_t klen, std::size_t jlen, double* c,
+                std::size_t ldc) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    const double* pb = packb + p * klen * kNr;
+    for (std::size_t q = 0; q * kMr < mrows; ++q) {
+      const std::size_t i0 = q * kMr;
+      const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+      MicroTile(packa + q * klen * kMr, pb, klen, c + i0 * ldc + j0, ldc, h,
+                w);
+    }
+  }
+}
+
+constexpr KernelTable kAvx512Table = {
+    "avx512", Isa::kAvx512, kLanes,        kMr, kNr,   Axpy,
+    Dot,      SquaredDistance, Add,        Sub, Scale, Hadamard,
+    PackB,    PackA,           GemmPacked,
+};
+
+}  // namespace
+
+const KernelTable* Avx512KernelTable() { return &kAvx512Table; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace rhchme {
+namespace la {
+namespace simd {
+
+// Stub when the build could not enable AVX-512 for this TU: the binary
+// simply does not carry the path.
+const KernelTable* Avx512KernelTable() { return nullptr; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // __AVX512F__ && __AVX512DQ__

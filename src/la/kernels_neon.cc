@@ -1,0 +1,225 @@
+// NEON kernel table (aarch64, 2 doubles/vector). NEON is baseline on
+// aarch64, so this TU needs no extra `-m` flags — the guard keeps the
+// file an inert stub on every other architecture. Same internal-linkage
+// discipline as the x86 TUs (la/kernels.h).
+//
+// The arithmetic is the PR 4 compile-time NEON path, unchanged: unfused
+// per-element ops for the element-parallel kernels, two 2-lane FMA
+// accumulators summed in fixed ascending-lane order for the reductions,
+// and the generic 4 x (2*lanes) broadcast-FMA register tile — here
+// 4 x 4 — for the GEMM microkernel.
+
+#include "la/kernels.h"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+namespace rhchme {
+namespace la {
+namespace simd {
+namespace {
+
+constexpr std::size_t kLanes = 2;
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 2 * kLanes;
+
+using Vec = float64x2_t;
+
+/// Lane sum in fixed ascending-lane order: l0 + l1.
+double SumLanes(Vec v) {
+  return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
+}
+
+void Axpy(double a, const double* x, double* y, std::size_t n) {
+  const Vec av = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i),
+                               vmulq_f64(av, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = vdupq_n_f64(0.0), acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + kLanes),
+                     vld1q_f64(b + i + kLanes));
+  }
+  double s = SumLanes(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const double* a, const double* b, std::size_t n) {
+  Vec acc0 = vdupq_n_f64(0.0), acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    const Vec d0 = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const Vec d1 = vsubq_f64(vld1q_f64(a + i + kLanes),
+                             vld1q_f64(b + i + kLanes));
+    acc0 = vfmaq_f64(acc0, d0, d0);
+    acc1 = vfmaq_f64(acc1, d1, d1);
+  }
+  double s = SumLanes(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void Add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void Sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vsubq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void Scale(double* y, double s, std::size_t n) {
+  const Vec sv = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vmulq_f64(vld1q_f64(y + i), sv));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void Hadamard(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vmulq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void PackB(const double* b, std::size_t ldb, std::size_t klen,
+           std::size_t jlen, double* pack) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    double* dst = pack + p * klen * kNr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      const double* bl = b + l * ldb + j0;
+      for (std::size_t j = 0; j < w; ++j) dst[j] = bl[j];
+      for (std::size_t j = w; j < kNr; ++j) dst[j] = 0.0;
+      dst += kNr;
+    }
+  }
+}
+
+void PackA(const double* a, std::size_t lda, std::size_t mrows,
+           std::size_t klen, double* pack) {
+  for (std::size_t p = 0; p * kMr < mrows; ++p) {
+    const std::size_t i0 = p * kMr;
+    const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+    double* dst = pack + p * klen * kMr;
+    for (std::size_t l = 0; l < klen; ++l) {
+      for (std::size_t r = 0; r < h; ++r) dst[r] = a[(i0 + r) * lda + l];
+      for (std::size_t r = h; r < kMr; ++r) dst[r] = 0.0;
+      dst += kMr;
+    }
+  }
+}
+
+/// C row segment += accumulator pair, touching only the w real columns.
+void AddTileRow(double* c, Vec v0, Vec v1, std::size_t w) {
+  if (w == kNr) {
+    vst1q_f64(c, vaddq_f64(vld1q_f64(c), v0));
+    vst1q_f64(c + kLanes, vaddq_f64(vld1q_f64(c + kLanes), v1));
+    return;
+  }
+  alignas(64) double t[kNr];
+  vst1q_f64(t, v0);
+  vst1q_f64(t + kLanes, v1);
+  for (std::size_t j = 0; j < w; ++j) c[j] += t[j];
+}
+
+/// 4 x 4 register tile: 8 vector accumulators, two B loads and four
+/// broadcast-FMA pairs per reduction step. `h` rows of C are written.
+void MicroTile(const double* pa, const double* pb, std::size_t klen,
+               double* c, std::size_t ldc, std::size_t h, std::size_t w) {
+  Vec x00 = vdupq_n_f64(0.0), x01 = vdupq_n_f64(0.0);
+  Vec x10 = vdupq_n_f64(0.0), x11 = vdupq_n_f64(0.0);
+  Vec x20 = vdupq_n_f64(0.0), x21 = vdupq_n_f64(0.0);
+  Vec x30 = vdupq_n_f64(0.0), x31 = vdupq_n_f64(0.0);
+  for (std::size_t l = 0; l < klen; ++l) {
+    const Vec b0 = vld1q_f64(pb);
+    const Vec b1 = vld1q_f64(pb + kLanes);
+    pb += kNr;
+    Vec av = vdupq_n_f64(pa[0]);
+    x00 = vfmaq_f64(x00, av, b0);
+    x01 = vfmaq_f64(x01, av, b1);
+    av = vdupq_n_f64(pa[1]);
+    x10 = vfmaq_f64(x10, av, b0);
+    x11 = vfmaq_f64(x11, av, b1);
+    av = vdupq_n_f64(pa[2]);
+    x20 = vfmaq_f64(x20, av, b0);
+    x21 = vfmaq_f64(x21, av, b1);
+    av = vdupq_n_f64(pa[3]);
+    x30 = vfmaq_f64(x30, av, b0);
+    x31 = vfmaq_f64(x31, av, b1);
+    pa += kMr;
+  }
+  AddTileRow(c, x00, x01, w);
+  if (h > 1) AddTileRow(c + ldc, x10, x11, w);
+  if (h > 2) AddTileRow(c + 2 * ldc, x20, x21, w);
+  if (h > 3) AddTileRow(c + 3 * ldc, x30, x31, w);
+}
+
+void GemmPacked(const double* packa, const double* packb, std::size_t mrows,
+                std::size_t klen, std::size_t jlen, double* c,
+                std::size_t ldc) {
+  for (std::size_t p = 0; p * kNr < jlen; ++p) {
+    const std::size_t j0 = p * kNr;
+    const std::size_t w = jlen - j0 < kNr ? jlen - j0 : kNr;
+    const double* pb = packb + p * klen * kNr;
+    for (std::size_t q = 0; q * kMr < mrows; ++q) {
+      const std::size_t i0 = q * kMr;
+      const std::size_t h = mrows - i0 < kMr ? mrows - i0 : kMr;
+      MicroTile(packa + q * klen * kMr, pb, klen, c + i0 * ldc + j0, ldc, h,
+                w);
+    }
+  }
+}
+
+constexpr KernelTable kNeonTable = {
+    "neon", Isa::kNeon, kLanes,          kMr, kNr,   Axpy,
+    Dot,    SquaredDistance, Add,        Sub, Scale, Hadamard,
+    PackB,  PackA,           GemmPacked,
+};
+
+}  // namespace
+
+const KernelTable* NeonKernelTable() { return &kNeonTable; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#else  // !__ARM_NEON
+
+namespace rhchme {
+namespace la {
+namespace simd {
+
+// Stub on non-ARM architectures.
+const KernelTable* NeonKernelTable() { return nullptr; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace rhchme
+
+#endif  // __ARM_NEON

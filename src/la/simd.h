@@ -1,53 +1,47 @@
-// Portable SIMD microkernel primitives for the dense/sparse hot loops.
+// Runtime-dispatched SIMD kernel layer for the dense/sparse hot loops.
 //
-// Three compile-time paths, selected by the RHCHME_ENABLE_SIMD CMake
-// option (which defines the RHCHME_ENABLE_SIMD macro and, on x86-64, adds
-// -mavx2 -mfma):
+// One binary carries every kernel table it could compile — scalar always,
+// AVX2+FMA and AVX-512(F+DQ) on x86-64, NEON on aarch64 — with each ISA's
+// implementations confined to their own translation unit
+// (la/kernels_*.cc), the only files built with their `-m` flags. CPUID
+// feature detection picks the best supported table once at startup
+// (AVX-512 → AVX2 → NEON → scalar); every call after that goes through
+// the resolved simd::KernelTable of function pointers. There is no
+// global SIMD compile flag any more.
 //
-//   - AVX2 + FMA  (x86-64, 4 doubles/vector)
-//   - NEON        (aarch64, 2 doubles/vector)
-//   - scalar      (always available; the only path when the option is OFF)
+// Forcing and reproduction:
+//   - RHCHME_FORCE_ISA={scalar,avx2,avx512,neon} pins the table before
+//     first use. A value that is unknown, not compiled into this binary,
+//     or not supported by the host CPU is a clean startup error.
+//   - ForceIsa() is the same override for CLI flags (--force_isa); it
+//     wins over the environment variable.
+//   - The resolved table name is what IsaName() returns and what the
+//     bench/quality JSON context records, so artefacts are compared per
+//     dispatched ISA.
 //
-// The scalar reference kernels under simd::scalar are compiled in every
-// build — they are the ground truth tests/simd_test.cc pins the vector
-// paths against, and the baseline the scalar-vs-SIMD benchmarks measure.
-//
-// Numerics contract (see docs/ARCHITECTURE.md "Kernel layer"):
-//   - Element-parallel kernels (Axpy, Add, Sub, Scale, Hadamard) perform
-//     exactly one multiply and/or add per element, in the same per-element
-//     operation order as the scalar reference — results are bit-identical
-//     to scalar within any build.
-//   - Reductions (Dot, SquaredDistance) reassociate the sum into a fixed
-//     number of lane accumulators combined in a fixed order. The order
-//     depends only on compile-time constants and the call's length, never
-//     on thread count, so results are bit-stable across pool sizes for a
-//     given build, but differ from the scalar chain by bounded rounding.
+// Numerics contract (see docs/ARCHITECTURE.md "Kernel layer"): identical
+// for every table — element-parallel kernels are bit-identical to the
+// scalar reference; reductions use fixed lane-accumulator order per
+// table, so results are bit-stable across thread counts for a given
+// dispatched ISA. The scalar reference kernels under simd::scalar remain
+// the ground truth tests/simd_test.cc pins every table against.
 //
 // All kernels accept unaligned pointers (la::Matrix rows are 64-byte
-// aligned, but callers may pass interior offsets); on modern cores an
-// unaligned load of an aligned address costs nothing.
+// aligned, but callers may pass interior offsets).
 
 #ifndef RHCHME_LA_SIMD_H_
 #define RHCHME_LA_SIMD_H_
 
 #include <cstddef>
 
-#if defined(RHCHME_ENABLE_SIMD) && defined(__AVX2__) && defined(__FMA__)
-#define RHCHME_SIMD_AVX2 1
-#define RHCHME_SIMD_VECTOR 1
-#include <immintrin.h>
-#elif defined(RHCHME_ENABLE_SIMD) && \
-    (defined(__ARM_NEON) || defined(__ARM_NEON__))
-#define RHCHME_SIMD_NEON 1
-#define RHCHME_SIMD_VECTOR 1
-#include <arm_neon.h>
-#endif
+#include "la/kernels.h"
+#include "util/status.h"
 
 namespace rhchme {
 namespace la {
 namespace simd {
 
-// ---- Scalar reference kernels (always compiled) --------------------------
+// ---- Scalar reference kernels (always compiled, ground truth) ------------
 
 namespace scalar {
 
@@ -92,169 +86,89 @@ inline void Hadamard(double* y, const double* x, std::size_t n) {
 
 }  // namespace scalar
 
-// ---- Vector primitives ----------------------------------------------------
+// ---- Dispatch -------------------------------------------------------------
 
-#if RHCHME_SIMD_AVX2
+/// CPU feature bits that drive table selection. Separated from detection
+/// so the selection policy is unit-testable with mocked bits.
+struct CpuFeatures {
+  bool avx512f = false;
+  bool avx512dq = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool neon = false;
+};
 
-constexpr std::size_t kLanes = 4;
-using Vec = __m256d;
+/// Queries the running CPU (CPUID on x86-64; NEON is baseline on
+/// aarch64).
+CpuFeatures DetectCpuFeatures();
 
-inline Vec VZero() { return _mm256_setzero_pd(); }
-inline Vec VSet1(double v) { return _mm256_set1_pd(v); }
-inline Vec VLoad(const double* p) { return _mm256_loadu_pd(p); }
-inline void VStore(double* p, Vec v) { _mm256_storeu_pd(p, v); }
-inline Vec VAdd(Vec a, Vec b) { return _mm256_add_pd(a, b); }
-inline Vec VSub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
-inline Vec VMul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
-/// a*b + c, fused (one rounding).
-inline Vec VFma(Vec a, Vec b, Vec c) { return _mm256_fmadd_pd(a, b, c); }
+/// Pure selection policy: the highest-preference table that is both
+/// compiled into this binary and supported by `features`, in the order
+/// AVX-512(F+DQ) → AVX2+FMA → NEON → scalar. Never returns null (the
+/// scalar table always exists).
+const KernelTable* ResolveTable(const CpuFeatures& features);
 
-/// Lane sum in fixed ascending-lane order: ((l0+l1)+l2)+l3.
-inline double VSumLanes(Vec v) {
-  alignas(32) double t[kLanes];
-  _mm256_store_pd(t, v);
-  return ((t[0] + t[1]) + t[2]) + t[3];
-}
+/// The dispatched kernel table. Resolved exactly once, on first call:
+/// honours a prior ForceIsa() call, else RHCHME_FORCE_ISA, else
+/// auto-detection. Thread-safe; hot loops should hoist the reference
+/// (`const auto& t = Table();`) rather than re-dispatch per element.
+///
+/// An invalid RHCHME_FORCE_ISA value (unknown name, table not compiled
+/// in, or CPU lacks the ISA) terminates the process with a diagnostic on
+/// stderr — a pinned-reproduction run must never silently fall back to a
+/// different ISA.
+const KernelTable& Table();
 
-#elif RHCHME_SIMD_NEON
+/// Pins the dispatched table by name ("scalar", "avx2", "avx512",
+/// "neon") — the CLI-flag twin of RHCHME_FORCE_ISA, taking precedence
+/// over it. Returns InvalidArgument for an unknown name,
+/// FailedPrecondition when the table is not compiled into this binary,
+/// not supported by this CPU, or dispatch already resolved to a
+/// different table (call before first kernel use).
+Status ForceIsa(const char* name);
 
-constexpr std::size_t kLanes = 2;
-using Vec = float64x2_t;
+/// The table for an explicitly named ISA when it is compiled into this
+/// binary AND supported by this CPU; nullptr otherwise. Does not touch
+/// the dispatched table — this is how tests iterate every runnable path
+/// in one binary.
+const KernelTable* TableForName(const char* name);
 
-inline Vec VZero() { return vdupq_n_f64(0.0); }
-inline Vec VSet1(double v) { return vdupq_n_f64(v); }
-inline Vec VLoad(const double* p) { return vld1q_f64(p); }
-inline void VStore(double* p, Vec v) { vst1q_f64(p, v); }
-inline Vec VAdd(Vec a, Vec b) { return vaddq_f64(a, b); }
-inline Vec VSub(Vec a, Vec b) { return vsubq_f64(a, b); }
-inline Vec VMul(Vec a, Vec b) { return vmulq_f64(a, b); }
-inline Vec VFma(Vec a, Vec b, Vec c) { return vfmaq_f64(c, a, b); }
+/// Name of the dispatched table: "scalar", "avx2", "avx512" or "neon".
+/// Recorded in bench/quality JSON context (`rhchme_simd`).
+const char* IsaName();
 
-inline double VSumLanes(Vec v) {
-  return vgetq_lane_f64(v, 0) + vgetq_lane_f64(v, 1);
-}
+/// Name of the table auto-detection would pick, ignoring any force
+/// override. Recorded alongside IsaName() so a forced artefact is
+/// self-describing (`rhchme_simd_detected`).
+const char* DetectedIsaName();
 
-#endif  // vector ISA
-
-// ---- Dispatching kernels --------------------------------------------------
-
-#if RHCHME_SIMD_VECTOR
-
-/// y[0..n) += a * x[0..n). Unfused multiply+add per element — bit-identical
-/// to scalar::Axpy in any build.
-inline void Axpy(double a, const double* x, double* y, std::size_t n) {
-  const Vec av = VSet1(a);
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    VStore(y + i, VAdd(VLoad(y + i), VMul(av, VLoad(x + i))));
-  }
-  for (; i < n; ++i) y[i] += a * x[i];
-}
-
-/// Σ a[i]·b[i] with two FMA lane accumulators combined in fixed order:
-/// (acc0 + acc1) lane-summed ascending, then the scalar tail appended.
-inline double Dot(const double* a, const double* b, std::size_t n) {
-  Vec acc0 = VZero(), acc1 = VZero();
-  std::size_t i = 0;
-  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
-    acc0 = VFma(VLoad(a + i), VLoad(b + i), acc0);
-    acc1 = VFma(VLoad(a + i + kLanes), VLoad(b + i + kLanes), acc1);
-  }
-  double s = VSumLanes(VAdd(acc0, acc1));
-  for (; i < n; ++i) s += a[i] * b[i];
-  return s;
-}
-
-/// Σ (a[i]-b[i])², same accumulator structure as Dot.
-inline double SquaredDistance(const double* a, const double* b,
-                              std::size_t n) {
-  Vec acc0 = VZero(), acc1 = VZero();
-  std::size_t i = 0;
-  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
-    const Vec d0 = VSub(VLoad(a + i), VLoad(b + i));
-    const Vec d1 = VSub(VLoad(a + i + kLanes), VLoad(b + i + kLanes));
-    acc0 = VFma(d0, d0, acc0);
-    acc1 = VFma(d1, d1, acc1);
-  }
-  double s = VSumLanes(VAdd(acc0, acc1));
-  for (; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
-}
-
-inline void Add(double* y, const double* x, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    VStore(y + i, VAdd(VLoad(y + i), VLoad(x + i)));
-  }
-  for (; i < n; ++i) y[i] += x[i];
-}
-
-inline void Sub(double* y, const double* x, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    VStore(y + i, VSub(VLoad(y + i), VLoad(x + i)));
-  }
-  for (; i < n; ++i) y[i] -= x[i];
-}
-
-inline void Scale(double* y, double s, std::size_t n) {
-  const Vec sv = VSet1(s);
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    VStore(y + i, VMul(VLoad(y + i), sv));
-  }
-  for (; i < n; ++i) y[i] *= s;
-}
-
-inline void Hadamard(double* y, const double* x, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    VStore(y + i, VMul(VLoad(y + i), VLoad(x + i)));
-  }
-  for (; i < n; ++i) y[i] *= x[i];
-}
-
-#else  // scalar fallback build
-
-constexpr std::size_t kLanes = 1;
+// ---- Dispatched kernel entry points ---------------------------------------
+//
+// Thin forwarders for call sites outside the hot loops. Each performs one
+// dispatch (an atomic load) per call; la/gemm.cc and the kNN inner loops
+// hoist Table() once instead.
 
 inline void Axpy(double a, const double* x, double* y, std::size_t n) {
-  scalar::Axpy(a, x, y, n);
+  Table().axpy(a, x, y, n);
 }
 inline double Dot(const double* a, const double* b, std::size_t n) {
-  return scalar::Dot(a, b, n);
+  return Table().dot(a, b, n);
 }
 inline double SquaredDistance(const double* a, const double* b,
                               std::size_t n) {
-  return scalar::SquaredDistance(a, b, n);
+  return Table().squared_distance(a, b, n);
 }
 inline void Add(double* y, const double* x, std::size_t n) {
-  scalar::Add(y, x, n);
+  Table().add(y, x, n);
 }
 inline void Sub(double* y, const double* x, std::size_t n) {
-  scalar::Sub(y, x, n);
+  Table().sub(y, x, n);
 }
 inline void Scale(double* y, double s, std::size_t n) {
-  scalar::Scale(y, s, n);
+  Table().scale(y, s, n);
 }
 inline void Hadamard(double* y, const double* x, std::size_t n) {
-  scalar::Hadamard(y, x, n);
-}
-
-#endif  // RHCHME_SIMD_VECTOR
-
-/// Human-readable name of the compiled kernel path.
-inline const char* IsaName() {
-#if RHCHME_SIMD_AVX2
-  return "avx2+fma";
-#elif RHCHME_SIMD_NEON
-  return "neon";
-#else
-  return "scalar";
-#endif
+  Table().hadamard(y, x, n);
 }
 
 }  // namespace simd

@@ -1,12 +1,19 @@
-// Pins the SIMD kernel layer (la/simd.h) against its scalar references.
+// Pins the runtime-dispatched kernel layer (la/simd.h, la/kernels.h)
+// against the scalar reference — for EVERY kernel table this binary
+// carries and this CPU can run, not just the dispatched one.
 //
 // Contract under test (docs/ARCHITECTURE.md "Kernel layer"):
 //   - element-parallel kernels (Axpy, Add, Sub, Scale, Hadamard) are
-//     bit-identical to scalar in every build;
+//     bit-identical to scalar in every table, including AVX-512 masked
+//     tails;
 //   - reassociated reductions (Dot, SquaredDistance) match scalar within
 //     bounded rounding;
-//   - both hold for every tail width 1..2*vector-width+1 and beyond, so
-//     no lane remainder path is left uncovered.
+//   - the packed GEMM protocol (pack_a / pack_b / gemm_packed) of every
+//     table computes C += A·B within reduction rounding;
+//   - both hold for every tail width 1..2*widest-unroll+1, so no lane or
+//     mask remainder path is left uncovered;
+//   - table selection (ResolveTable) and the force override (ForceIsa /
+//     RHCHME_FORCE_ISA) behave as documented.
 
 #include "la/simd.h"
 
@@ -15,7 +22,9 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "la/aligned.h"
@@ -26,9 +35,12 @@ namespace rhchme {
 namespace la {
 namespace {
 
-// Widths covering every lane-remainder case of the widest path (AVX2 uses
-// two 4-lane accumulators, so the unrolled step is 8): 1..2*8+1.
-constexpr std::size_t kMaxWidth = 2 * 2 * 4 + 1;
+// Widths covering every lane-remainder case of the widest path (AVX-512
+// uses two 8-lane accumulators, so the unrolled step is 16): 1..2*16+1.
+constexpr std::size_t kMaxWidth = 2 * 2 * 8 + 1;
+
+/// Every table name the registry knows; unavailable ones resolve to null.
+const char* const kAllIsaNames[] = {"scalar", "avx2", "avx512", "neon"};
 
 std::vector<double> RandomVec(std::size_t n, uint64_t seed, double lo = -1.0,
                               double hi = 1.0) {
@@ -45,64 +57,105 @@ double ReductionTol(std::size_t n, double term_mag) {
          std::numeric_limits<double>::epsilon() * (term_mag + 1.0);
 }
 
+/// Tables this binary carries AND this CPU can execute. Always holds at
+/// least the scalar table.
+std::vector<const simd::KernelTable*> RunnableTables() {
+  std::vector<const simd::KernelTable*> tables;
+  for (const char* name : kAllIsaNames) {
+    if (const simd::KernelTable* t = simd::TableForName(name)) {
+      tables.push_back(t);
+    }
+  }
+  return tables;
+}
+
 TEST(SimdKernels, AxpyMatchesScalarExactlyAtAllTailWidths) {
-  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
-    std::vector<double> x = RandomVec(n, 100 + n);
-    std::vector<double> y0 = RandomVec(n, 200 + n);
-    std::vector<double> y1 = y0;
-    simd::Axpy(0.7318, x.data(), y0.data(), n);
-    simd::scalar::Axpy(0.7318, x.data(), y1.data(), n);
-    for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_EQ(y0[i], y1[i]) << "n=" << n << " i=" << i;
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+      std::vector<double> x = RandomVec(n, 100 + n);
+      std::vector<double> y0 = RandomVec(n, 200 + n);
+      std::vector<double> y1 = y0;
+      t->axpy(0.7318, x.data(), y0.data(), n);
+      simd::scalar::Axpy(0.7318, x.data(), y1.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(y0[i], y1[i]) << t->name << " n=" << n << " i=" << i;
+      }
     }
   }
 }
 
 TEST(SimdKernels, ElementwiseKernelsMatchScalarExactly) {
-  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
-    const std::vector<double> x = RandomVec(n, 300 + n);
-    const std::vector<double> base = RandomVec(n, 400 + n);
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+      const std::vector<double> x = RandomVec(n, 300 + n);
+      const std::vector<double> base = RandomVec(n, 400 + n);
 
-    std::vector<double> a = base, b = base;
-    simd::Add(a.data(), x.data(), n);
-    simd::scalar::Add(b.data(), x.data(), n);
-    EXPECT_EQ(a, b) << "Add n=" << n;
+      std::vector<double> a = base, b = base;
+      t->add(a.data(), x.data(), n);
+      simd::scalar::Add(b.data(), x.data(), n);
+      EXPECT_EQ(a, b) << t->name << " Add n=" << n;
 
-    a = base, b = base;
-    simd::Sub(a.data(), x.data(), n);
-    simd::scalar::Sub(b.data(), x.data(), n);
-    EXPECT_EQ(a, b) << "Sub n=" << n;
+      a = base, b = base;
+      t->sub(a.data(), x.data(), n);
+      simd::scalar::Sub(b.data(), x.data(), n);
+      EXPECT_EQ(a, b) << t->name << " Sub n=" << n;
 
-    a = base, b = base;
-    simd::Scale(a.data(), -1.25, n);
-    simd::scalar::Scale(b.data(), -1.25, n);
-    EXPECT_EQ(a, b) << "Scale n=" << n;
+      a = base, b = base;
+      t->scale(a.data(), -1.25, n);
+      simd::scalar::Scale(b.data(), -1.25, n);
+      EXPECT_EQ(a, b) << t->name << " Scale n=" << n;
 
-    a = base, b = base;
-    simd::Hadamard(a.data(), x.data(), n);
-    simd::scalar::Hadamard(b.data(), x.data(), n);
-    EXPECT_EQ(a, b) << "Hadamard n=" << n;
+      a = base, b = base;
+      t->hadamard(a.data(), x.data(), n);
+      simd::scalar::Hadamard(b.data(), x.data(), n);
+      EXPECT_EQ(a, b) << t->name << " Hadamard n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, MaskedTailsWriteOnlyTheLiveRange) {
+  // The element past the logical length must be untouched by every
+  // kernel — catches a masked store (or a full-width store on a tail)
+  // that bleeds one lane over.
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+      std::vector<double> x = RandomVec(n + 1, 500 + n);
+      std::vector<double> y = RandomVec(n + 1, 600 + n);
+      const double sentinel_x = x[n], sentinel_y = y[n];
+      t->axpy(1.5, x.data(), y.data(), n);
+      t->add(y.data(), x.data(), n);
+      t->sub(y.data(), x.data(), n);
+      t->scale(y.data(), 0.5, n);
+      t->hadamard(y.data(), x.data(), n);
+      EXPECT_EQ(x[n], sentinel_x) << t->name << " n=" << n;
+      EXPECT_EQ(y[n], sentinel_y) << t->name << " n=" << n;
+    }
   }
 }
 
 TEST(SimdKernels, DotMatchesScalarWithinRoundingAtAllTailWidths) {
-  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
-    std::vector<double> a = RandomVec(n, 500 + n);
-    std::vector<double> b = RandomVec(n, 600 + n);
-    const double got = simd::Dot(a.data(), b.data(), n);
-    const double want = simd::scalar::Dot(a.data(), b.data(), n);
-    EXPECT_NEAR(got, want, ReductionTol(n, 1.0)) << "n=" << n;
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+      std::vector<double> a = RandomVec(n, 500 + n);
+      std::vector<double> b = RandomVec(n, 600 + n);
+      const double got = t->dot(a.data(), b.data(), n);
+      const double want = simd::scalar::Dot(a.data(), b.data(), n);
+      EXPECT_NEAR(got, want, ReductionTol(n, 1.0)) << t->name << " n=" << n;
+    }
   }
 }
 
 TEST(SimdKernels, SquaredDistanceMatchesScalarWithinRounding) {
-  for (std::size_t n = 1; n <= kMaxWidth; ++n) {
-    std::vector<double> a = RandomVec(n, 700 + n, 0.0, 3.0);
-    std::vector<double> b = RandomVec(n, 800 + n, 0.0, 3.0);
-    const double got = simd::SquaredDistance(a.data(), b.data(), n);
-    const double want = simd::scalar::SquaredDistance(a.data(), b.data(), n);
-    EXPECT_NEAR(got, want, ReductionTol(n, 9.0)) << "n=" << n;
-    EXPECT_GE(got, 0.0);
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t n = 1; n <= kMaxWidth; ++n) {
+      std::vector<double> a = RandomVec(n, 700 + n, 0.0, 3.0);
+      std::vector<double> b = RandomVec(n, 800 + n, 0.0, 3.0);
+      const double got = t->squared_distance(a.data(), b.data(), n);
+      const double want =
+          simd::scalar::SquaredDistance(a.data(), b.data(), n);
+      EXPECT_NEAR(got, want, ReductionTol(n, 9.0)) << t->name << " n=" << n;
+      EXPECT_GE(got, 0.0);
+    }
   }
 }
 
@@ -110,27 +163,199 @@ TEST(SimdKernels, DotOfLargeVectorStaysAccurate) {
   const std::size_t n = 4097;  // Odd, exercises the tail after many lanes.
   std::vector<double> a = RandomVec(n, 31);
   std::vector<double> b = RandomVec(n, 32);
-  const double got = simd::Dot(a.data(), b.data(), n);
-  const double want = simd::scalar::Dot(a.data(), b.data(), n);
-  EXPECT_NEAR(got, want, ReductionTol(n, 1.0));
+  for (const simd::KernelTable* t : RunnableTables()) {
+    const double got = t->dot(a.data(), b.data(), n);
+    const double want = simd::scalar::Dot(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, ReductionTol(n, 1.0)) << t->name;
+  }
 }
 
 TEST(SimdKernels, ZeroLengthIsIdentity) {
-  double y = 3.0;
-  simd::Axpy(2.0, &y, &y, 0);
-  EXPECT_EQ(y, 3.0);
-  EXPECT_EQ(simd::Dot(&y, &y, 0), 0.0);
-  EXPECT_EQ(simd::SquaredDistance(&y, &y, 0), 0.0);
+  for (const simd::KernelTable* t : RunnableTables()) {
+    double y = 3.0;
+    t->axpy(2.0, &y, &y, 0);
+    EXPECT_EQ(y, 3.0) << t->name;
+    EXPECT_EQ(t->dot(&y, &y, 0), 0.0) << t->name;
+    EXPECT_EQ(t->squared_distance(&y, &y, 0), 0.0) << t->name;
+  }
 }
 
-TEST(SimdKernels, IsaNameIsConsistentWithBuildFlags) {
-#if RHCHME_SIMD_VECTOR
-  EXPECT_GT(simd::kLanes, 1u);
-  EXPECT_STRNE(simd::IsaName(), "scalar");
-#else
-  EXPECT_EQ(simd::kLanes, 1u);
-  EXPECT_STREQ(simd::IsaName(), "scalar");
-#endif
+// ---- Packed GEMM protocol -------------------------------------------------
+
+/// C += A·B through one table's pack_a / pack_b / gemm_packed.
+void PackedGemm(const simd::KernelTable& t, const Matrix& a, const Matrix& b,
+                Matrix* c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t apanels = (m + t.mr - 1) / t.mr;
+  const std::size_t bpanels = (n + t.nr - 1) / t.nr;
+  // lint:memstats-ok(microkernel packing scratch sized by the tile under test)
+  AlignedVector<double> pa(apanels * k * t.mr);
+  // lint:memstats-ok(microkernel packing scratch sized by the tile under test)
+  AlignedVector<double> pb(bpanels * k * t.nr);
+  t.pack_a(a.row_ptr(0), a.stride(), m, k, pa.data());
+  t.pack_b(b.row_ptr(0), b.stride(), k, n, pb.data());
+  t.gemm_packed(pa.data(), pb.data(), m, k, n, c->row_ptr(0), c->stride());
+}
+
+TEST(SimdGemm, PackedMicrokernelMatchesNaiveAtAllTileShapes) {
+  Rng rng(99);
+  // Shapes straddling every mr/nr boundary of the widest geometry
+  // (avx512 is 8 x 16), plus odd reduction lengths.
+  const std::size_t ms[] = {1, 2, 3, 4, 5, 7, 8, 9, 17};
+  const std::size_t ns[] = {1, 3, 7, 8, 9, 15, 16, 17, 33};
+  const std::size_t ks[] = {1, 2, 7, 16, 33};
+  for (const simd::KernelTable* t : RunnableTables()) {
+    for (std::size_t m : ms) {
+      for (std::size_t n : ns) {
+        for (std::size_t k : ks) {
+          const Matrix a = Matrix::RandomUniform(m, k, &rng, -1.0, 1.0);
+          const Matrix b = Matrix::RandomUniform(k, n, &rng, -1.0, 1.0);
+          Matrix c = Matrix::RandomUniform(m, n, &rng, -1.0, 1.0);
+          Matrix want = c;
+          PackedGemm(*t, a, b, &c);
+          for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              double acc = want(i, j);
+              for (std::size_t l = 0; l < k; ++l) acc += a(i, l) * b(l, j);
+              want(i, j) = acc;
+            }
+          }
+          for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              EXPECT_NEAR(c(i, j), want(i, j), ReductionTol(k, 1.0))
+                  << t->name << " m=" << m << " n=" << n << " k=" << k
+                  << " at (" << i << "," << j << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdGemm, PackedMicrokernelLeavesPaddingAndNeighboursAlone) {
+  // C has more rows/cols than the product touches; the extra row, the
+  // extra columns, and the stride padding must keep their values.
+  Rng rng(7);
+  for (const simd::KernelTable* t : RunnableTables()) {
+    const std::size_t m = 5, n = 11, k = 9;
+    const Matrix a = Matrix::RandomUniform(m, k, &rng, -1.0, 1.0);
+    const Matrix b = Matrix::RandomUniform(k, n, &rng, -1.0, 1.0);
+    Matrix c = Matrix::RandomUniform(m + 1, n + 3, &rng, -1.0, 1.0);
+    const Matrix before = c;
+    const std::size_t apanels = (m + t->mr - 1) / t->mr;
+    const std::size_t bpanels = (n + t->nr - 1) / t->nr;
+    // lint:memstats-ok(microkernel packing scratch sized by the tile under test)
+    AlignedVector<double> pa(apanels * k * t->mr);
+    // lint:memstats-ok(microkernel packing scratch sized by the tile under test)
+    AlignedVector<double> pb(bpanels * k * t->nr);
+    t->pack_a(a.row_ptr(0), a.stride(), m, k, pa.data());
+    t->pack_b(b.row_ptr(0), b.stride(), k, n, pb.data());
+    t->gemm_packed(pa.data(), pb.data(), m, k, n, c.row_ptr(0), c.stride());
+    for (std::size_t j = 0; j < before.cols(); ++j) {
+      EXPECT_EQ(c(m, j), before(m, j)) << t->name << " row beyond m, j=" << j;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = n; j < before.cols(); ++j) {
+        EXPECT_EQ(c(i, j), before(i, j))
+            << t->name << " col beyond n at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// ---- Dispatch selection & force override ----------------------------------
+
+TEST(SimdDispatch, ResolveTableHonoursMockedFeatureBits) {
+  // No features at all → scalar, always.
+  simd::CpuFeatures none;
+  EXPECT_STREQ(simd::ResolveTable(none)->name, "scalar");
+
+  // AVX2 without FMA is not enough for the avx2 table.
+  simd::CpuFeatures avx2_only;
+  avx2_only.avx2 = true;
+  EXPECT_STREQ(simd::ResolveTable(avx2_only)->name, "scalar");
+
+  // AVX2+FMA picks the avx2 table when this binary carries it.
+  simd::CpuFeatures avx2_fma;
+  avx2_fma.avx2 = avx2_fma.fma = true;
+  EXPECT_STREQ(simd::ResolveTable(avx2_fma)->name,
+               simd::Avx2KernelTable() ? "avx2" : "scalar");
+
+  // AVX-512 needs both F and DQ; F alone falls back to avx2.
+  simd::CpuFeatures f_only = avx2_fma;
+  f_only.avx512f = true;
+  EXPECT_STREQ(simd::ResolveTable(f_only)->name,
+               simd::Avx2KernelTable() ? "avx2" : "scalar");
+
+  simd::CpuFeatures full = f_only;
+  full.avx512dq = true;
+  if (simd::Avx512KernelTable()) {
+    EXPECT_STREQ(simd::ResolveTable(full)->name, "avx512");
+  } else {
+    EXPECT_STREQ(simd::ResolveTable(full)->name,
+                 simd::Avx2KernelTable() ? "avx2" : "scalar");
+  }
+
+  simd::CpuFeatures arm;
+  arm.neon = true;
+  EXPECT_STREQ(simd::ResolveTable(arm)->name,
+               simd::NeonKernelTable() ? "neon" : "scalar");
+}
+
+TEST(SimdDispatch, TableForNameFiltersUnknownAndUnavailable) {
+  EXPECT_EQ(simd::TableForName("bogus"), nullptr);
+  EXPECT_EQ(simd::TableForName(nullptr), nullptr);
+  const simd::KernelTable* s = simd::TableForName("scalar");
+  ASSERT_NE(s, nullptr);
+  EXPECT_STREQ(s->name, "scalar");
+  EXPECT_EQ(s->lanes, 1u);
+}
+
+TEST(SimdDispatch, ForceIsaRejectsUnknownName) {
+  const Status st = simd::ForceIsa("avx1024");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("avx1024"), std::string::npos);
+}
+
+TEST(SimdDispatch, ForceIsaRejectsUnavailableIsaCleanly) {
+  // Whichever of neon/avx512 this host cannot run must come back as a
+  // clean FailedPrecondition, not a crash or a silent fallback.
+  for (const char* name : kAllIsaNames) {
+    if (simd::TableForName(name) != nullptr) continue;
+    const Status st = simd::ForceIsa(name);
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << name;
+  }
+}
+
+TEST(SimdDispatch, ForceIsaAfterResolutionOnlyAcceptsTheResolvedTable) {
+  const std::string resolved = simd::IsaName();  // Resolves the dispatch.
+  EXPECT_TRUE(simd::ForceIsa(resolved.c_str()).ok());
+  for (const simd::KernelTable* t : RunnableTables()) {
+    if (resolved == t->name) continue;
+    const Status st = simd::ForceIsa(t->name);
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << t->name;
+    EXPECT_NE(st.message().find("already resolved"), std::string::npos);
+  }
+}
+
+TEST(SimdDispatch, IsaNameIsAKnownTableAndHonoursTheEnvOverride) {
+  const std::string name = simd::IsaName();
+  bool known = false;
+  for (const char* n : kAllIsaNames) known = known || name == n;
+  EXPECT_TRUE(known) << name;
+  EXPECT_STREQ(simd::Table().name, name.c_str());
+  // Under a forced run (the CI forced-scalar / forced-avx2 legs), the
+  // dispatched table must be exactly the requested one.
+  const char* forced = std::getenv("RHCHME_FORCE_ISA");
+  if (forced != nullptr && forced[0] != '\0') {
+    EXPECT_EQ(name, forced);
+  }
+  // The detected name ignores forcing and is also a known table.
+  const std::string detected = simd::DetectedIsaName();
+  known = false;
+  for (const char* n : kAllIsaNames) known = known || detected == n;
+  EXPECT_TRUE(known) << detected;
 }
 
 // ---- Alignment & padding invariants of the storage layer -----------------

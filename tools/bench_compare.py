@@ -20,9 +20,10 @@ Usage:
       [--baseline BENCH_kernels.baseline.json] \
       [--threshold 0.25] [--recall-threshold 0.02] [--allow-debug]
 
-Regenerating the baseline (Release build only):
+Regenerating the baseline (Release build only; pin the kernel table so
+the committed context matches what CI dispatches):
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
-  (cd build && ./bench_kernels --benchmark_min_time=0.1)
+  (cd build && ./bench_kernels --force_isa=avx2 --benchmark_min_time=0.1)
   cp build/BENCH_kernels.json BENCH_kernels.baseline.json
 
 Cross-machine caveat: real_time is only comparable on similar hardware.
@@ -74,8 +75,14 @@ def main():
                              "debugging only; CI must not pass this)")
     parser.add_argument("--allow-isa-mismatch", action="store_true",
                         help="compare runs even when current and baseline "
-                             "were produced by different SIMD kernel paths "
-                             "(scalar vs avx2+fma vs neon)")
+                             "dispatched different kernel tables (scalar vs "
+                             "avx2 vs avx512 vs neon); the numbers will "
+                             "include the ISA gap")
+    parser.add_argument("--require-isa-match", action="store_true",
+                        help="treat a kernel-table mismatch as a hard "
+                             "failure (exit 1) instead of skipping the "
+                             "comparison; for legs that pin RHCHME_FORCE_ISA "
+                             "and must never silently no-op")
     args = parser.parse_args()
 
     try:
@@ -108,19 +115,33 @@ def main():
               "for local experiments).")
         return 1
 
-    # A scalar-build run compared against the SIMD baseline (or vice versa)
-    # would report the ISA gap itself as a 4-5x "regression"; refuse unless
-    # explicitly overridden.
+    # The kernel table is dispatched at runtime, so the binary is the same
+    # everywhere — but a run that resolved 'scalar' compared against the
+    # 'avx2' baseline would report the ISA gap itself as a 4-5x
+    # "regression". context.rhchme_simd records the table the run actually
+    # dispatched; on mismatch the comparison is skipped (exit 0) so a
+    # host without the baseline ISA never fails CI spuriously. Legs that
+    # pin the table (RHCHME_FORCE_ISA / --force_isa) should pass
+    # --require-isa-match so the skip can never mask a misconfigured leg.
     cur_isa = cur_ctx.get("rhchme_simd")
     base_isa = base_ctx.get("rhchme_simd")
     if (cur_isa is not None and base_isa is not None and cur_isa != base_isa
             and not args.allow_isa_mismatch):
-        print(f"error: SIMD kernel path mismatch: current was built with "
-              f"{cur_isa!r} but the baseline with {base_isa!r}; the "
-              "comparison would measure the ISA gap, not a regression. "
-              "Rebuild with the matching RHCHME_ENABLE_SIMD setting, "
-              "regenerate the baseline, or pass --allow-isa-mismatch.")
-        return 1
+        if args.require_isa_match:
+            print(f"error: kernel-table mismatch: current dispatched "
+                  f"{cur_isa!r} but the baseline was recorded with "
+                  f"{base_isa!r}, and --require-isa-match is set. Pin the "
+                  f"table with RHCHME_FORCE_ISA={base_isa} (or "
+                  f"--force_isa={base_isa}) when producing the current "
+                  "run, or regenerate the baseline.")
+            return 1
+        print(f"SKIP: current run dispatched kernel table {cur_isa!r} but "
+              f"the baseline was recorded with {base_isa!r}; comparing "
+              "them would measure the ISA gap, not a regression. To "
+              f"reproduce the baseline's table run bench_kernels with "
+              f"RHCHME_FORCE_ISA={base_isa} (or --force_isa={base_isa}); "
+              "to compare across tables anyway pass --allow-isa-mismatch.")
+        return 0
 
     shared = sorted(set(current) & set(baseline))
     only_current = sorted(set(current) - set(baseline))

@@ -10,10 +10,15 @@
 //   compare <dataset_dir>
 //       Run all seven paper methods and print the comparison table.
 //
+// A leading --force_isa=<scalar|avx2|avx512|neon> pins the dispatched
+// kernel table (same contract as the RHCHME_FORCE_ISA environment
+// variable, over which the flag wins); an ISA this binary or CPU cannot
+// run is a clean error.
+//
 // Example:
 //   rhchme_cli generate D1 /tmp/d1
 //   rhchme_cli run RHCHME /tmp/d1 /tmp/d1_labels.csv
-//   rhchme_cli compare /tmp/d1
+//   rhchme_cli --force_isa=scalar compare /tmp/d1
 
 #include <cerrno>
 #include <cstdio>
@@ -31,9 +36,13 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  rhchme_cli generate <D1|D2|D3|D4> <out_dir> [seed]\n"
-      "  rhchme_cli run <RHCHME|SRC|SNMTF|RMC> <dataset_dir> [labels_out]\n"
-      "  rhchme_cli compare <dataset_dir>\n");
+      "  rhchme_cli [--force_isa=ISA] generate <D1|D2|D3|D4> <out_dir> "
+      "[seed]\n"
+      "  rhchme_cli [--force_isa=ISA] run <RHCHME|SRC|SNMTF|RMC> "
+      "<dataset_dir> [labels_out]\n"
+      "  rhchme_cli [--force_isa=ISA] compare <dataset_dir>\n"
+      "  ISA: scalar | avx2 | avx512 | neon (pins the kernel table; "
+      "overrides RHCHME_FORCE_ISA)\n");
   return 2;
 }
 
@@ -167,6 +176,15 @@ int Compare(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel leading --force_isa=... before subcommand dispatch so the
+  // positional argv indices the subcommands expect stay intact.
+  while (argc >= 2 &&
+         std::strncmp(argv[1], "--force_isa=", 12) == 0) {
+    const Status st = la::simd::ForceIsa(argv[1] + 12);
+    if (!st.ok()) return Fail(st);
+    for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+  }
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);

@@ -7,13 +7,17 @@
 //
 // Usage:
 //   rhchme_scenarios [--workload corpus|blockworld] [--quick]
-//                    [--out FILE] [--threads N]
+//                    [--out FILE] [--threads N] [--force_isa ISA]
 //
-//   --quick    CI grid: same 3x3x2 cell coverage, fewer replicate seeds
-//              and a lower iteration cap. The committed baseline is
-//              generated with this flag (Release build).
-//   --threads  Pool size; results are bit-identical for any value
-//              (tests/scenario_test.cc pins that down).
+//   --quick      CI grid: same 3x3x2 cell coverage, fewer replicate seeds
+//                and a lower iteration cap. The committed baseline is
+//                generated with this flag (Release build).
+//   --threads    Pool size; results are bit-identical for any value
+//                (tests/scenario_test.cc pins that down).
+//   --force_isa  Pins the dispatched kernel table (scalar|avx2|avx512|
+//                neon); overrides RHCHME_FORCE_ISA. The resolved table is
+//                recorded in the report's JSON context, which is what
+//                tools/quality_compare.py keys the comparison on.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +25,7 @@
 #include <string>
 
 #include "eval/scenario.h"
+#include "la/simd.h"
 #include "util/parallel.h"
 
 namespace {
@@ -28,7 +33,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload corpus|blockworld] [--quick] "
-               "[--out FILE] [--threads N]\n",
+               "[--out FILE] [--threads N] [--force_isa ISA]\n",
                argv0);
   return 2;
 }
@@ -61,6 +66,12 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       rhchme::util::SetNumThreads(std::atoi(argv[++i]));
+    } else if (arg == "--force_isa" && i + 1 < argc) {
+      const rhchme::Status st = rhchme::la::simd::ForceIsa(argv[++i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
